@@ -1,0 +1,68 @@
+"""Ablation: the non-LRU guard of Algorithm 1 (lines 4-13).
+
+DESIGN.md section 5: the guard exists to protect omnetpp/xalancbmk-class
+workloads whose hit-position histograms are bumpy.  This bench runs ESTEEM
+with the guard on and off over the non-LRU proxies (and one LRU-friendly
+control) and reports what the guard buys.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled_config, strict_checks
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner
+
+NONLRU = ["omnetpp", "xalancbmk"]
+CONTROL = ["sphinx"]
+
+
+def bench_ablation_nonlru_guard(run_once):
+    cfg_on = scaled_config(num_cores=1)
+    cfg_off = cfg_on.with_esteem(nonlru_guard=False)
+
+    def build():
+        on = Runner(cfg_on)
+        off = Runner(cfg_off)
+        rows = []
+        for wl in NONLRU + CONTROL:
+            c_on = on.compare(wl, "esteem")
+            c_off = off.compare(wl, "esteem")
+            rows.append(
+                [
+                    wl,
+                    "non-LRU" if wl in NONLRU else "control",
+                    c_on.weighted_speedup,
+                    c_off.weighted_speedup,
+                    c_on.mpki_increase,
+                    c_off.mpki_increase,
+                    c_on.active_ratio_pct,
+                    c_off.active_ratio_pct,
+                ]
+            )
+        return rows
+
+    rows = run_once(build)
+    emit(
+        "ablation_nonlru_guard",
+        format_table(
+            ["workload", "class", "WS(on)", "WS(off)", "dMPKI(on)",
+             "dMPKI(off)", "act%(on)", "act%(off)"],
+            rows,
+            float_digits=3,
+            title="Ablation: Algorithm 1 non-LRU guard on vs off",
+        ),
+    )
+
+    # The guard must keep more cache on (and not hurt) for non-LRU apps,
+    # while barely affecting the LRU-friendly control.
+    for row in rows:
+        wl, klass, ws_on, ws_off, mp_on, mp_off, act_on, act_off = row
+        if klass == "non-LRU":
+            if strict_checks():
+                assert act_on > act_off, f"{wl}: guard should keep more ways on"
+            else:
+                assert act_on >= act_off
+            assert mp_on <= mp_off + 0.05, f"{wl}: guard should cap MPKI growth"
+        else:
+            assert abs(act_on - act_off) < 15.0, f"{wl}: control shifted too much"

@@ -1,0 +1,60 @@
+"""Ablation: refresh burst scheduling (DESIGN.md section 5).
+
+The banked scheduler issues refreshes in bursts; the burst length controls
+how long a colliding demand access waits.  This bench sweeps the burst
+length and reports baseline performance and the headroom ESTEEM recovers
+-- the knob behind the refresh-blocking magnitudes of Section 7.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import emit, scaled_config, single_workloads
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner, aggregate
+
+BURSTS = (64, 128, 384, 768)
+
+
+def bench_ablation_refresh_schedule(run_once):
+    workloads = single_workloads()[:6]
+    base = scaled_config(num_cores=1)
+
+    def build():
+        rows = []
+        for burst in BURSTS:
+            cfg = dataclasses.replace(
+                base,
+                refresh=dataclasses.replace(
+                    base.refresh, lines_per_refresh_burst=burst
+                ),
+            )
+            runner = Runner(cfg)
+            agg = aggregate(runner.compare_many(workloads, "esteem"))
+            base_ipc = sum(
+                runner.baseline(w).ipcs[0] for w in workloads
+            ) / len(workloads)
+            rows.append(
+                [burst, base_ipc, agg.weighted_speedup, agg.energy_saving_pct]
+            )
+        return rows
+
+    rows = run_once(build)
+    emit(
+        "ablation_refresh_schedule",
+        format_table(
+            ["burst lines", "baseline IPC", "ESTEEM WS", "ESTEEM sav%"],
+            rows,
+            float_digits=3,
+            title="Ablation: refresh burst length (bank-blocking severity)",
+        ),
+    )
+
+    # Longer bursts block the baseline harder -> lower baseline IPC and a
+    # larger ESTEEM speedup (monotone trend).
+    ipcs = [r[1] for r in rows]
+    speedups = [r[2] for r in rows]
+    assert ipcs == sorted(ipcs, reverse=True)
+    assert speedups == sorted(speedups)

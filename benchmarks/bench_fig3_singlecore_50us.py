@@ -1,0 +1,28 @@
+"""E2 / Figure 3: single-core results at 50 us retention.
+
+Paper averages: ESTEEM saves 25.82% / WS 1.09 / dRPKI 467;
+RPV saves 15.93% / WS 1.06 / dRPKI 161 (Sections 7.2, Fig. 3).
+"""
+
+from conftest import single_workloads
+
+from _figure_common import PaperAverages, run_figure
+
+
+def bench_fig3_singlecore_50us(run_once):
+    run_figure(
+        run_once,
+        name="fig3_singlecore_50us",
+        title="Figure 3: single-core, 50us retention",
+        num_cores=1,
+        retention_us=50.0,
+        workloads=single_workloads(),
+        paper=PaperAverages(
+            esteem_saving=25.82,
+            rpv_saving=15.93,
+            esteem_ws=1.09,
+            rpv_ws=1.06,
+            esteem_rpki=467.4,
+            rpv_rpki=161.0,
+        ),
+    )

@@ -1,0 +1,30 @@
+"""E3 / Figure 4: dual-core results at 50 us retention.
+
+Paper averages: ESTEEM saves 32.63% / WS 1.22 / dRPKI 511.9;
+RPV saves 14.39% / WS 1.09 / dRPKI 134 (Section 7.2, Fig. 4).
+The paper's largest dual-core saving and speedup are both GkNe
+(gobmk-nekbone): 77.2% and 1.48x.
+"""
+
+from conftest import dual_workloads
+
+from _figure_common import PaperAverages, run_figure
+
+
+def bench_fig4_dualcore_50us(run_once):
+    run_figure(
+        run_once,
+        name="fig4_dualcore_50us",
+        title="Figure 4: dual-core, 50us retention",
+        num_cores=2,
+        retention_us=50.0,
+        workloads=dual_workloads(),
+        paper=PaperAverages(
+            esteem_saving=32.63,
+            rpv_saving=14.39,
+            esteem_ws=1.22,
+            rpv_ws=1.09,
+            esteem_rpki=511.9,
+            rpv_rpki=134.0,
+        ),
+    )

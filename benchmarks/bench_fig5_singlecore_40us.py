@@ -1,0 +1,30 @@
+"""E4 / Figure 5: single-core results at the reduced 40 us retention.
+
+Section 7.3: with a shorter retention period, refresh dominates the
+baseline further, so both techniques gain more than at 50 us.  The paper's
+largest single-core saving is gamess (73.6%) and the largest speedup gobmk
+(1.40x) at 40 us.
+"""
+
+from conftest import single_workloads
+
+from _figure_common import PaperAverages, run_figure
+
+
+def bench_fig5_singlecore_40us(run_once):
+    run_figure(
+        run_once,
+        name="fig5_singlecore_40us",
+        title="Figure 5: single-core, 40us retention",
+        num_cores=1,
+        retention_us=40.0,
+        workloads=single_workloads(),
+        paper=PaperAverages(
+            esteem_saving=30.0,  # Fig. 5 average (read off the figure)
+            rpv_saving=18.0,
+            esteem_ws=1.15,
+            rpv_ws=1.08,
+            esteem_rpki=580.0,
+            rpv_rpki=200.0,
+        ),
+    )

@@ -1,0 +1,28 @@
+"""E5 / Figure 6: dual-core results at the reduced 40 us retention.
+
+Section 7.3: the paper's largest improvements at 40 us dual-core are
+GkNe's 83.2% energy saving and GcGa's 1.72x speedup.
+"""
+
+from conftest import dual_workloads
+
+from _figure_common import PaperAverages, run_figure
+
+
+def bench_fig6_dualcore_40us(run_once):
+    run_figure(
+        run_once,
+        name="fig6_dualcore_40us",
+        title="Figure 6: dual-core, 40us retention",
+        num_cores=2,
+        retention_us=40.0,
+        workloads=dual_workloads(),
+        paper=PaperAverages(
+            esteem_saving=38.0,  # Fig. 6 average (read off the figure)
+            rpv_saving=16.0,
+            esteem_ws=1.30,
+            rpv_ws=1.10,
+            esteem_rpki=630.0,
+            rpv_rpki=165.0,
+        ),
+    )

@@ -1,0 +1,68 @@
+"""Microbenchmarks of the simulator itself (true pytest-benchmark timing).
+
+These are the only benches where wall-clock time is the result: the cache
+hot path, the refresh engines' boundary scans, and end-to-end simulated
+instructions per second.  Useful for catching performance regressions in
+the substrate (the optimisation guide's "no optimization without
+measuring").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheGeometry, RefreshConfig, SimConfig
+from repro.edram.rpv import RefrintPolyphaseValid
+from repro.timing.system import System
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+
+
+def bench_cache_access_hot_path(benchmark):
+    """Throughput of the L2 lookup/fill path (accesses per second)."""
+    geo = CacheGeometry(size_bytes=4 * 1024 * 1024, associativity=16)
+    cache = SetAssociativeCache(geo)
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(0, 200_000, size=20_000).tolist()
+    writes = (rng.random(20_000) < 0.3).tolist()
+
+    def run():
+        access = cache.access
+        for a, w in zip(addrs, writes):
+            access(a, w, 0)
+
+    benchmark(run)
+
+
+def bench_rpv_boundary_scan(benchmark):
+    """Vectorised RPV due-line scan over a full-size 4 MB cache."""
+    from repro.cache.block import LineState
+
+    state = LineState(num_sets=4096, associativity=16)
+    state.valid[:] = True
+    state.last_window[:] = np.arange(state.num_lines) % 4
+    cfg = RefreshConfig(retention_cycles=100_000)
+    engine = RefrintPolyphaseValid(state, cfg)
+    horizon = {"t": 0}
+
+    def run():
+        horizon["t"] += 1_000_000
+        engine.advance_to(horizon["t"])
+
+    benchmark(run)
+
+
+def bench_end_to_end_simulation_rate(benchmark):
+    """Simulated instructions per wall-clock second, full ESTEEM stack."""
+    cfg = SimConfig.scaled(instructions_per_core=1_500_000)
+    trace = generate_trace(
+        get_profile("sphinx"), cfg.instructions_per_core, seed=0
+    )
+
+    def run():
+        return System(cfg, [trace], "esteem").run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["instructions"] = result.total_instructions
+    benchmark.extra_info["l2_accesses"] = result.l2_hits + result.l2_misses

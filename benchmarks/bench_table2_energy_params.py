@@ -1,0 +1,65 @@
+"""E6 / Table 2: eDRAM energy constants and the CACTI-lite cross-check.
+
+Regenerates the paper's Table 2 rows from the embedded constants and
+verifies the CACTI-lite scaling model reproduces them, plus prints the
+interpolated values for the in-between sizes a user might configure.
+"""
+
+from conftest import emit
+
+from repro.energy.cacti import CactiLite
+from repro.energy.params import EDRAM_ENERGY_TABLE
+from repro.experiments.report import format_table
+
+MB = 1024 * 1024
+
+
+def bench_table2_energy_params(run_once):
+    model = CactiLite.from_table()
+
+    def build():
+        rows = []
+        for size in sorted(EDRAM_ENERGY_TABLE):
+            dyn, leak = EDRAM_ENERGY_TABLE[size]
+            rows.append(
+                [
+                    f"{size // MB} MB",
+                    dyn * 1e9,
+                    leak,
+                    model.dynamic_energy_j(size) * 1e9,
+                    model.leakage_power_w(size),
+                    "table",
+                ]
+            )
+        for size in (3 * MB, 6 * MB, 12 * MB, 24 * MB):
+            rows.append(
+                [
+                    f"{size // MB} MB",
+                    float("nan"),
+                    float("nan"),
+                    model.dynamic_energy_j(size) * 1e9,
+                    model.leakage_power_w(size),
+                    "interpolated",
+                ]
+            )
+        return rows
+
+    rows = run_once(build)
+    dyn_exp, leak_exp = model.scaling_exponents()
+    emit(
+        "table2_energy_params",
+        format_table(
+            ["size", "paper E_dyn nJ", "paper P_leak W",
+             "model E_dyn nJ", "model P_leak W", "source"],
+            rows,
+            float_digits=3,
+            title="Table 2: 16-way eDRAM cache energy values (32 nm)",
+        )
+        + f"\nCACTI-lite scaling exponents: E_dyn ~ size^{dyn_exp:.2f}, "
+        f"P_leak ~ size^{leak_exp:.2f}",
+    )
+
+    # Table rows must be reproduced exactly by the model.
+    for size, (dyn, leak) in EDRAM_ENERGY_TABLE.items():
+        assert abs(model.dynamic_energy_j(size) - dyn) / dyn < 1e-9
+        assert abs(model.leakage_power_w(size) - leak) / leak < 1e-9

@@ -1,0 +1,74 @@
+"""Temperature sweep: ESTEEM's value across operating points.
+
+Section 6.1 anchors the retention model (40 us at 105 C, 50 us at the
+assumed 60 C operating point, exponential in between) and Section 7.3
+shows that "a reduction of merely 10 us in retention period can increase
+refresh energy significantly".  This bench sweeps the die temperature from
+a well-cooled 45 C to a hot-aisle 105 C and regenerates the trend: the
+hotter the silicon, the shorter the retention, the more refresh dominates
+the baseline, and the more ESTEEM is worth.
+"""
+
+from __future__ import annotations
+
+from conftest import emit, scaled_config, single_workloads, strict_checks
+
+from repro.edram.retention import retention_us
+from repro.experiments.report import format_table
+from repro.experiments.runner import Runner, aggregate
+
+TEMPERATURES_C = (45.0, 60.0, 75.0, 90.0, 105.0)
+
+
+def bench_temperature_sweep(run_once):
+    workloads = single_workloads()[:6]
+
+    def build():
+        rows = []
+        for temp in TEMPERATURES_C:
+            retention = retention_us(temp)
+            runner = Runner(scaled_config(num_cores=1, retention_us=retention))
+            comps = runner.compare_many(workloads, "esteem")
+            agg = aggregate(comps)
+            base_rpki = sum(c.baseline.rpki for c in comps) / len(comps)
+            base_refresh_share = sum(
+                c.baseline.energy.l2_refresh_j / c.baseline.energy.l2_total_j
+                for c in comps
+            ) / len(comps)
+            rows.append(
+                [
+                    temp,
+                    retention,
+                    base_rpki,
+                    base_refresh_share * 100,
+                    agg.energy_saving_pct,
+                    agg.weighted_speedup,
+                ]
+            )
+        return rows
+
+    rows = run_once(build)
+    emit(
+        "temperature_sweep",
+        format_table(
+            ["temp C", "retention us", "baseline RPKI",
+             "refresh %E_L2", "ESTEEM sav%", "ESTEEM WS"],
+            rows,
+            title="Temperature sweep: refresh pressure vs ESTEEM benefit",
+        )
+        + "\nSection 7.3's message: as retention shrinks (hotter dies), "
+        "refresh dominates and\nrefresh-management techniques become "
+        "indispensable.",
+    )
+
+    retentions = [r[1] for r in rows]
+    rpkis = [r[2] for r in rows]
+    savings = [r[4] for r in rows]
+    speedups = [r[5] for r in rows]
+    # Retention shrinks with temperature; baseline refresh pressure grows.
+    assert retentions == sorted(retentions, reverse=True)
+    assert rpkis == sorted(rpkis)
+    if strict_checks():
+        # ESTEEM's benefit grows toward the hot end.
+        assert savings[-1] > savings[0]
+        assert speedups[-1] > speedups[0]

@@ -1,0 +1,109 @@
+"""Shared infrastructure for the experiment-regeneration benches.
+
+Every bench regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Each bench
+
+* runs the experiment once inside ``benchmark.pedantic`` (these are
+  experiments, not microbenchmarks -- one round),
+* prints the regenerated rows/series (visible with ``pytest -s``), and
+* writes the same report under ``benchmarks/results/``.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+========  ==========================  ==================  =================
+scale     single-core workloads       dual-core mixes     instructions/core
+========  ==========================  ==================  =================
+smoke     4                           3                   1.5 M
+quick     12 (default)                8                   4 M
+std       all 34                      all 17              8 M
+full      all 34                      all 17              12 M
+========  ==========================  ==================  =================
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import SimConfig
+from repro.workloads.multiprog import DUAL_CORE_MIXES
+from repro.workloads.profiles import ALL_BENCHMARKS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Representative subsets covering every behaviour class (small-WS,
+#: latency-sensitive, phased, streaming, WS>LLC, non-LRU, medium, HPC).
+QUICK_SINGLE = [
+    "gamess", "gobmk", "h264ref", "hmmer", "sphinx", "dealII",
+    "libquantum", "bwaves", "mcf", "omnetpp", "lulesh", "xsbench",
+]
+SMOKE_SINGLE = ["gamess", "h264ref", "libquantum", "mcf"]
+
+QUICK_DUAL = ["GkNe", "GcGa", "HmH2", "LqPo", "SoMi", "BzXa", "SpBw", "McLu"]
+SMOKE_DUAL = ["GkNe", "GcGa", "LqPo"]
+
+_SCALES = {
+    "smoke": (SMOKE_SINGLE, SMOKE_DUAL, 1_500_000),
+    "quick": (QUICK_SINGLE, QUICK_DUAL, 4_000_000),
+    "std": (None, None, 8_000_000),
+    "full": (None, None, 12_000_000),
+}
+
+
+def strict_checks() -> bool:
+    """Whether shape assertions should be enforced.
+
+    The smoke scale exists to verify plumbing in seconds; its runs are too
+    short for several of the paper's dynamics (reconfiguration descent,
+    guard activation) to manifest, so shape checks soften there.
+    """
+    return bench_scale() != "smoke"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in _SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}")
+    return scale
+
+
+def single_workloads() -> list[str]:
+    names, _, _ = _SCALES[bench_scale()]
+    return list(names) if names else [b.name for b in ALL_BENCHMARKS]
+
+
+def dual_workloads() -> list[str]:
+    _, names, _ = _SCALES[bench_scale()]
+    return list(names) if names else [m.acronym for m in DUAL_CORE_MIXES]
+
+
+def instructions_per_core() -> int:
+    return _SCALES[bench_scale()][2]
+
+
+def scaled_config(num_cores: int = 1, retention_us: float = 50.0) -> SimConfig:
+    return SimConfig.scaled(
+        num_cores=num_cores,
+        retention_us=retention_us,
+        instructions_per_core=instructions_per_core(),
+    )
+
+
+def emit(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    banner = f"\n===== {name} (scale={bench_scale()}) =====\n"
+    print(banner + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return _run

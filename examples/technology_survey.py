@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scenario: choosing an LLC technology for a new design (Section 1).
+
+Plays out the paper's introduction as an experiment: for a given workload,
+compare SRAM (fast but leaky), STT-RAM and ReRAM (non-volatile but with
+slow, expensive writes and finite endurance), and eDRAM -- untreated,
+under RPV, and under ESTEEM.
+
+Usage::
+
+    python examples/technology_survey.py [workload] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimConfig
+from repro.experiments import _trace_cache
+from repro.experiments.report import format_table
+from repro.tech import TECHNOLOGIES, evaluate_technology
+from repro.workloads.profiles import get_profile
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "sphinx"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 4_000_000
+
+    config = SimConfig.scaled(instructions_per_core=instructions)
+    traces = [
+        _trace_cache.get_trace(get_profile(workload), instructions, 0)
+    ]
+
+    candidates = [
+        ("sram", "baseline"),
+        ("sttram", "baseline"),
+        ("reram", "baseline"),
+        ("edram", "baseline"),
+        ("edram", "rpv"),
+        ("edram", "esteem"),
+    ]
+    rows = []
+    for tech_name, technique in candidates:
+        r = evaluate_technology(
+            TECHNOLOGIES[tech_name], config, traces, technique
+        )
+        label = tech_name if technique == "baseline" else f"{tech_name}+{technique}"
+        rows.append(
+            [
+                label,
+                r.total_energy_j * 1e3,
+                r.ipc,
+                r.refresh_share * 100.0,
+                r.write_surcharge_j * 1e6,
+                f"{r.lifetime_years:.3f}" if r.lifetime_years is not None else "unlimited",
+            ]
+        )
+
+    print(
+        format_table(
+            ["LLC option", "energy mJ", "IPC", "refresh %E_L2",
+             "write surcharge uJ", "lifetime (years)"],
+            rows,
+            float_digits=3,
+            title=f"LLC technology survey on {workload} "
+            f"(4 MB, {instructions:,} instructions)",
+        )
+    )
+    print(
+        "\nThe paper's Section 1 argument, measured:\n"
+        "  * SRAM pays ~8x the leakage -> highest energy bar;\n"
+        "  * ReRAM's endurance makes it unusable as an LLC (lifetime in "
+        "hours);\n"
+        "  * STT-RAM is energy-attractive but pays write latency/energy;\n"
+        "  * eDRAM is competitive only once refresh is managed -- compare "
+        "the three eDRAM rows."
+    )
+
+
+if __name__ == "__main__":
+    main()

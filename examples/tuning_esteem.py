@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Scenario: tuning ESTEEM's knobs for a new design point.
+
+Section 7.4's closing advice: "by adjusting alpha, A_min and the interval
+size, a designer can achieve fine balance between the performance gain and
+energy saving."  This example does exactly that for a mixed workload
+bundle: it sweeps the three knobs, prints the trade-off frontier, and
+picks the setting with the best energy saving subject to a performance
+floor.
+
+Usage::
+
+    python examples/tuning_esteem.py [min_speedup] [instructions]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Runner, SimConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import aggregate
+
+WORKLOADS = ["h264ref", "sphinx", "astar", "libquantum", "dealII"]
+
+SWEEP = [
+    ("alpha", [0.90, 0.95, 0.97, 0.99]),
+    ("a_min", [2, 3, 4]),
+    ("interval_scale", [0.5, 1.0, 2.0]),
+]
+
+
+def main() -> None:
+    min_speedup = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 3_000_000
+
+    base = SimConfig.scaled(instructions_per_core=instructions)
+    rows = []
+    candidates = []
+    for knob, values in SWEEP:
+        for value in values:
+            if knob == "interval_scale":
+                cfg = base.with_esteem(
+                    interval_cycles=int(base.esteem.interval_cycles * value)
+                )
+                label = f"interval x{value}"
+            else:
+                cfg = base.with_esteem(**{knob: value})
+                label = f"{knob}={value}"
+            agg = aggregate(Runner(cfg).compare_many(WORKLOADS, "esteem"))
+            rows.append(
+                [
+                    label,
+                    agg.energy_saving_pct,
+                    agg.weighted_speedup,
+                    agg.mpki_increase,
+                    agg.active_ratio_pct,
+                ]
+            )
+            candidates.append((label, agg))
+
+    print(
+        format_table(
+            ["setting", "saving %", "speedup", "dMPKI", "active %"],
+            rows,
+            float_digits=3,
+            title="ESTEEM knob sweep (one knob at a time from defaults)",
+        )
+    )
+
+    feasible = [
+        (label, agg)
+        for label, agg in candidates
+        if agg.weighted_speedup >= min_speedup
+    ]
+    if feasible:
+        best = max(feasible, key=lambda item: item[1].energy_saving_pct)
+        print(
+            f"\nbest setting with speedup >= {min_speedup}: {best[0]} "
+            f"({best[1].energy_saving_pct:.2f}% saving, "
+            f"{best[1].weighted_speedup:.3f}x)"
+        )
+    else:
+        print(f"\nno setting meets the {min_speedup}x performance floor")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,269 @@
+"""The set-associative cache model (system S1).
+
+Implements a true-LRU, writeback, write-allocate cache with per-way power
+gating.  Lines live only in enabled ways: the reconfiguration controller
+flushes a way before disabling it, so the lookup path never needs to mask
+disabled ways.
+
+Tag storage note: each way stores the *full line address* rather than the
+tag bits above the index.  Functionally identical (address = tag || index),
+it keeps lookups a single comparison and -- crucially -- decouples the
+stored state from the set-index width, which lets the selective-sets
+controller change the number of active sets (``active_set_mask``) without
+re-interpreting every stored tag.
+
+The hot path (:meth:`SetAssociativeCache.access`) is written as straight-line
+Python over lists -- per the profiling-first guidance, the per-access budget
+is ~1-2 us and attribute lookups / function calls are the dominant cost, so
+locals are bound once and the per-set state is manipulated in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.block import LineState
+from repro.cache.cacheset import CacheSet
+from repro.config import CacheGeometry
+
+__all__ = ["AccessOutcome", "CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class AccessOutcome:
+    """Result of a single cache access (cold-path convenience wrapper)."""
+
+    hit: bool
+    #: Recency position of the hit (0 = MRU), or -1 on a miss.
+    position: int
+    #: Line address written back due to a dirty eviction, or -1.
+    writeback_addr: int
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters; interval deltas are taken by the runner."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    #: Hits served from drowsy (gated, data-retaining) ways.
+    drowsy_hits: int = 0
+    #: Hits broken down by recency position (whole cache, all sets).
+    hits_by_position: list[int] = field(default_factory=list)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class SetAssociativeCache:
+    """A single cache level with LRU replacement and way gating.
+
+    Parameters
+    ----------
+    geometry:
+        Size / associativity / line size / latency bundle.
+    name:
+        Label used in reports ("L1D", "L2", ...).
+    leader_every:
+        When positive, every ``leader_every``-th set (set index divisible by
+        it) is marked as a leader set for the embedded ATD (Section 3.2).
+        Leader sets always keep every way enabled.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        name: str = "cache",
+        leader_every: int = 0,
+    ) -> None:
+        self.geometry = geometry
+        self.name = name
+        s = geometry.num_sets
+        a = geometry.associativity
+        self.num_sets = s
+        self.associativity = a
+        self.set_mask = s - 1
+        #: Index mask actually used by lookups; the selective-sets
+        #: controller narrows it to a power-of-two subset of the sets.
+        self.active_set_mask = s - 1
+        self.set_bits = geometry.set_index_bits
+        self.sets: list[CacheSet] = [
+            CacheSet(i, a, is_leader=(leader_every > 0 and i % leader_every == 0))
+            for i in range(s)
+        ]
+        self.state = LineState(s, a)
+        self.stats = CacheStats(hits_by_position=[0] * a)
+        # Optional profiling hook installed by the ESTEEM controller:
+        # module_of_set[s] -> module index, profile_hist[m][pos] += 1 on
+        # leader-set hits.  None when no profiler is attached.
+        self.module_of_set: list[int] | None = None
+        self.profile_hist: list[list[int]] | None = None
+        # Optional per-line write counters (NVM endurance studies install
+        # a NumPy array here; None keeps the hot path free of the cost).
+        self.write_counts = None
+        #: Set by the hot path when the last hit came from a drowsy way;
+        #: the timing loop consumes and clears it (wake-up penalty).
+        self.drowsy_flag = False
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def set_index(self, line_addr: int) -> int:
+        return line_addr & self.set_mask
+
+    def tag_of(self, line_addr: int) -> int:
+        return line_addr >> self.set_bits
+
+    def line_addr(self, set_index: int, tag: int) -> int:
+        return (tag << self.set_bits) | set_index
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def access(self, line_addr: int, is_write: bool, window: int = 0) -> tuple:
+        """Perform one demand access.
+
+        Parameters
+        ----------
+        line_addr:
+            Cache-line address (byte address >> log2(line size)).
+        is_write:
+            Store vs load; stores mark the line dirty.
+        window:
+            Current refresh phase-window index (an access counts as an
+            implicit refresh for the polyphase bookkeeping).
+
+        Returns
+        -------
+        tuple
+            ``(hit, position, writeback_addr)`` where ``position`` is the
+            recency position of the hit (0 = MRU, -1 on miss) and
+            ``writeback_addr`` is the line address of a dirty eviction
+            (-1 when nothing was written back).
+        """
+        stats = self.stats
+        cset = self.sets[line_addr & self.active_set_mask]
+        tags = cset.tags
+        order = cset.order
+        state = self.state
+        a = self.associativity
+        set_base = cset.index * a
+
+        try:
+            way = tags.index(line_addr)
+        except ValueError:
+            way = -1
+
+        if way >= 0:
+            # Hit: promote to MRU, record recency position.  A hit in a
+            # gated way is only possible in drowsy mode (off-mode flushes).
+            if way >= cset.n_active and not cset.is_leader:
+                stats.drowsy_hits += 1
+                self.drowsy_flag = True
+            pos = order.index(way)
+            if pos:
+                del order[pos]
+                order.insert(0, way)
+            stats.hits += 1
+            stats.hits_by_position[pos] += 1
+            g = set_base + way
+            if is_write:
+                state.dirty[g] = True
+                if self.write_counts is not None:
+                    self.write_counts[g] += 1
+            state.last_window[g] = window
+            hist = self.profile_hist
+            if hist is not None and cset.is_leader:
+                hist[self.module_of_set[cset.index]][pos] += 1
+            return (True, pos, -1)
+
+        # Miss: pick a victim among the enabled ways.
+        stats.misses += 1
+        n = cset.n_active
+        victim = -1
+        for w in range(n):
+            if tags[w] is None:
+                victim = w
+                break
+        if victim < 0:
+            for w in reversed(order):
+                if w < n:
+                    victim = w
+                    break
+        g = set_base + victim
+        wb_addr = -1
+        old_tag = tags[victim]
+        if old_tag is not None and state.dirty[g]:
+            wb_addr = old_tag
+            stats.writebacks += 1
+        # Fill.
+        tags[victim] = line_addr
+        state.valid[g] = True
+        state.dirty[g] = is_write
+        if is_write and self.write_counts is not None:
+            self.write_counts[g] += 1
+        state.last_window[g] = window
+        pos = order.index(victim)
+        if pos:
+            del order[pos]
+            order.insert(0, victim)
+        return (False, -1, wb_addr)
+
+    # ------------------------------------------------------------------
+    # Cold paths
+    # ------------------------------------------------------------------
+
+    def access_outcome(
+        self, line_addr: int, is_write: bool, window: int = 0
+    ) -> AccessOutcome:
+        """Typed wrapper around :meth:`access` for tests and examples."""
+        hit, pos, wb = self.access(line_addr, is_write, window)
+        return AccessOutcome(hit=hit, position=pos, writeback_addr=wb)
+
+    def contains(self, line_addr: int) -> bool:
+        """Whether the line is resident (no LRU update)."""
+        cset = self.sets[line_addr & self.active_set_mask]
+        return line_addr in cset.tags
+
+    def probe_position(self, line_addr: int) -> int:
+        """Recency position of a resident line without promoting it; -1 if absent."""
+        cset = self.sets[line_addr & self.active_set_mask]
+        try:
+            way = cset.tags.index(line_addr)
+        except ValueError:
+            return -1
+        return cset.order.index(way)
+
+    def invalidate_all(self) -> None:
+        """Drop every line (no writebacks; test helper)."""
+        for cset in self.sets:
+            for way in range(self.associativity):
+                cset.tags[way] = None
+        self.state.valid[:] = False
+        self.state.dirty[:] = False
+        self.state.last_window[:] = -1
+
+    def leader_sets(self) -> list[int]:
+        return [c.index for c in self.sets if c.is_leader]
+
+    def check_invariants(self) -> None:
+        """Full-state consistency check (used by property tests)."""
+        for cset in self.sets:
+            cset.check_invariants(self.state)
+
+    def resident_lines(self) -> list[int]:
+        """All resident line addresses (test helper)."""
+        out = []
+        for cset in self.sets:
+            for tag in cset.tags:
+                if tag is not None:
+                    out.append(tag)
+        return out

@@ -1,0 +1,106 @@
+"""One cache set: tags, recency order, and the per-way enable count.
+
+Hot-path note (see the optimisation guide): :meth:`SetAssociativeCache.access
+<repro.cache.cache.SetAssociativeCache.access>` manipulates the public list
+attributes of this class directly instead of going through method calls --
+the per-access cost budget is a couple of microseconds and Python call
+overhead would dominate.  The methods here implement the *cold* paths
+(fills, flushes, invariant checks) and give tests a tidy interface.
+"""
+
+from __future__ import annotations
+
+from repro.cache.block import LineState
+
+__all__ = ["CacheSet"]
+
+
+class CacheSet:
+    """State of a single set in a set-associative cache.
+
+    Attributes
+    ----------
+    tags:
+        ``tags[way]`` is the tag stored in that way, or ``None`` when the
+        way holds no valid line.  ``tags[way] is None`` is the canonical
+        validity test on the scalar path; the NumPy ``LineState.valid``
+        array mirrors it for the vectorised refresh path.
+    order:
+        Way indices in recency order, most-recently-used first.
+    n_active:
+        Number of powered-on ways; ways ``[0, n_active)`` are usable.
+        Leader sets keep ``n_active == associativity`` permanently.
+    is_leader:
+        True when this set is a profiling (leader) set of the embedded ATD.
+    """
+
+    __slots__ = ("index", "tags", "order", "n_active", "is_leader")
+
+    def __init__(self, index: int, associativity: int, is_leader: bool = False) -> None:
+        self.index = index
+        self.tags: list[int | None] = [None] * associativity
+        self.order: list[int] = list(range(associativity))
+        self.n_active = associativity
+        self.is_leader = is_leader
+
+    # ------------------------------------------------------------------
+    # Cold-path operations
+    # ------------------------------------------------------------------
+
+    def find(self, tag: int) -> int:
+        """Way holding ``tag``, or ``-1``."""
+        try:
+            return self.tags.index(tag)
+        except ValueError:
+            return -1
+
+    def victim_way(self) -> int:
+        """Pick the fill victim among the enabled ways.
+
+        Preference order: an enabled invalid way, else the least recently
+        used enabled way.
+        """
+        n = self.n_active
+        tags = self.tags
+        for way in range(n):
+            if tags[way] is None:
+                return way
+        for way in reversed(self.order):
+            if way < n:
+                return way
+        raise RuntimeError("set has no enabled way")  # pragma: no cover
+
+    def flush_way(self, way: int, state: LineState) -> tuple[int | None, bool]:
+        """Invalidate ``way``; returns ``(evicted_tag, was_dirty)``.
+
+        The caller is responsible for issuing a writeback when the line was
+        dirty and for demoting the way in the recency order if desired.
+        """
+        tag = self.tags[way]
+        if tag is None:
+            return None, False
+        g = state.gidx(self.index, way)
+        was_dirty = bool(state.dirty[g])
+        state.valid[g] = False
+        state.dirty[g] = False
+        self.tags[way] = None
+        return tag, was_dirty
+
+    def resident_tags(self) -> list[int]:
+        """Tags of all valid lines (test helper)."""
+        return [t for t in self.tags if t is not None]
+
+    def check_invariants(self, state: LineState) -> None:
+        """Raise AssertionError when internal state is inconsistent."""
+        a = len(self.tags)
+        assert sorted(self.order) == list(range(a)), "order must be a permutation"
+        assert 1 <= self.n_active <= a, "active way count out of range"
+        for way, tag in enumerate(self.tags):
+            g = state.gidx(self.index, way)
+            assert (tag is not None) == bool(
+                state.valid[g]
+            ), f"valid mirror out of sync at set {self.index} way {way}"
+            if tag is None:
+                assert not state.dirty[g], "invalid line cannot be dirty"
+            if way >= self.n_active and not self.is_leader:
+                assert tag is None, "disabled way must not hold a line"

@@ -1,0 +1,68 @@
+"""A standalone true-LRU recency stack.
+
+The cache sets embed their own recency list for speed, but this class gives
+the recency semantics a small, independently-testable home (property tests
+in ``tests/cache/test_lru.py`` check the permutation and monotonicity
+invariants against it).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+__all__ = ["LRUStack"]
+
+
+class LRUStack:
+    """An ordered stack of way indices, most-recently-used first.
+
+    Position 0 is the MRU position; position ``size - 1`` is the LRU
+    position.  This matches the paper's hit-histogram indexing, where
+    ``nL2Hit[m][0]`` counts MRU hits.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, ways: int | Iterable[int]) -> None:
+        if isinstance(ways, int):
+            self._order = list(range(ways))
+        else:
+            self._order = list(ways)
+            if sorted(self._order) != list(range(len(self._order))):
+                raise ValueError("initial order must be a permutation of 0..n-1")
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def position_of(self, way: int) -> int:
+        """Recency position of ``way`` (0 = MRU).  Raises if absent."""
+        return self._order.index(way)
+
+    def touch(self, way: int) -> int:
+        """Promote ``way`` to MRU; returns its previous recency position."""
+        pos = self._order.index(way)
+        if pos:
+            del self._order[pos]
+            self._order.insert(0, way)
+        return pos
+
+    def lru(self) -> int:
+        """The way currently at the LRU position."""
+        return self._order[-1]
+
+    def lru_among(self, allowed: set[int] | frozenset[int]) -> int:
+        """The least-recently-used way among ``allowed``.
+
+        Used for victim selection when some ways are power-gated.
+        """
+        for way in reversed(self._order):
+            if way in allowed:
+                return way
+        raise ValueError("no allowed way present in the stack")
+
+    def order(self) -> tuple[int, ...]:
+        """The current recency order, MRU first."""
+        return tuple(self._order)

@@ -1,0 +1,369 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands::
+
+    repro list                          # workloads, mixes, techniques
+    repro run -w h264ref -t esteem      # one comparison against the baseline
+    repro run -w GkNe -t esteem --cores 2
+    repro figure 3                      # regenerate a figure's series
+    repro table 3 --system single      # regenerate Table 3 rows
+    repro overhead --sets 4096 --ways 16 --modules 16   # Eq. 1
+
+All experiment subcommands accept ``--instructions`` (trace scale),
+``--retention`` (us), and the ESTEEM knobs (``--alpha``, ``--a-min``,
+``--modules``, ``--interval``, ``--sampling-ratio``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.config import SimConfig
+from repro.energy.model import counter_overhead_percent
+from repro.experiments.figures import (
+    fig2_reconfiguration_timeline,
+    per_workload_comparison,
+)
+from repro.experiments.report import format_table
+from repro.experiments.parallel import parallel_compare
+from repro.experiments.runner import Runner, aggregate
+from repro.experiments.tables import SENSITIVITY_VARIANTS, sensitivity_row
+from repro.timing.system import TECHNIQUES
+from repro.workloads.multiprog import DUAL_CORE_MIXES
+from repro.workloads.profiles import ALL_BENCHMARKS
+
+__all__ = ["main"]
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=1, choices=(1, 2))
+    parser.add_argument("--retention", type=float, default=50.0,
+                        help="retention period in microseconds")
+    parser.add_argument("--instructions", type=int, default=8_000_000,
+                        help="instructions simulated per core")
+    parser.add_argument("--alpha", type=float, default=None)
+    parser.add_argument("--a-min", type=int, default=None, dest="a_min")
+    parser.add_argument("--modules", type=int, default=None)
+    parser.add_argument("--interval", type=int, default=None,
+                        help="reconfiguration interval in cycles")
+    parser.add_argument("--sampling-ratio", type=int, default=None,
+                        dest="sampling_ratio")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for workload sweeps")
+
+
+def _build_config(args: argparse.Namespace) -> SimConfig:
+    cfg = SimConfig.scaled(
+        num_cores=args.cores,
+        retention_us=args.retention,
+        instructions_per_core=args.instructions,
+    )
+    overrides = {
+        name: getattr(args, name)
+        for name in ("alpha", "a_min", "modules", "interval", "sampling_ratio")
+        if getattr(args, name) is not None
+    }
+    if "modules" in overrides:
+        overrides["num_modules"] = overrides.pop("modules")
+    if "interval" in overrides:
+        overrides["interval_cycles"] = overrides.pop("interval")
+    return cfg.with_esteem(**overrides) if overrides else cfg
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("techniques:", ", ".join(TECHNIQUES))
+    print("\nsingle-core workloads (Table 1):")
+    rows = [
+        [b.acronym, b.name, b.suite, f"{b.l2_apki:.1f}",
+         b.max_ws_lines, "yes" if b.is_nonlru else "no"]
+        for b in ALL_BENCHMARKS
+    ]
+    print(format_table(
+        ["acr", "name", "suite", "L2 APKI", "max WS lines", "non-LRU"], rows
+    ))
+    print("\ndual-core mixes (Table 1):")
+    print(format_table(
+        ["acronym", "benchmarks"],
+        [[m.acronym, m.name] for m in DUAL_CORE_MIXES],
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    runner = Runner(config, seed=args.seed)
+    rows = []
+    for technique in args.technique:
+        if technique == "baseline":
+            continue
+        c = runner.compare(args.workload, technique)
+        rows.append(
+            [technique, c.energy_saving_pct, c.weighted_speedup,
+             c.fair_speedup, c.rpki_decrease, c.mpki_increase,
+             c.active_ratio_pct]
+        )
+    base = runner.baseline(args.workload)
+    print(
+        f"workload {args.workload}: baseline IPC="
+        + "/".join(f"{ipc:.3f}" for ipc in base.ipcs)
+        + f", L2 miss rate {base.l2_miss_rate:.1%}, RPKI {base.rpki:.0f}"
+    )
+    print(format_table(
+        ["technique", "saving %", "WS", "FS", "dRPKI", "dMPKI", "active %"],
+        rows,
+        title=f"techniques vs periodic-all baseline ({args.workload})",
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    if args.number == 2:
+        runner = Runner(config, seed=args.seed)
+        _result, points = fig2_reconfiguration_timeline(runner, args.workload)
+        rows = [
+            [p.interval, p.active_ratio_pct, " ".join(map(str, p.ways_per_module))]
+            for p in points
+        ]
+        print(format_table(
+            ["interval", "active %", "ways per module"], rows,
+            title=f"Figure 2: ESTEEM reconfiguration of {args.workload}",
+        ))
+        return 0
+
+    cores = 2 if args.number in (4, 6) else 1
+    retention = 40.0 if args.number in (5, 6) else 50.0
+    config = SimConfig.scaled(
+        num_cores=cores,
+        retention_us=retention,
+        instructions_per_core=args.instructions,
+    )
+    if cores == 1:
+        workloads = [b.name for b in ALL_BENCHMARKS]
+    else:
+        workloads = [m.acronym for m in DUAL_CORE_MIXES]
+    if args.workloads:
+        workloads = args.workloads.split(",")
+    if args.jobs > 1:
+        raw = parallel_compare(
+            config, workloads, ("esteem", "rpv"),
+            seed=args.seed, jobs=args.jobs,
+        )
+        rows = _figure_rows_from_raw(raw)
+    else:
+        runner = Runner(config, seed=args.seed)
+        rows, raw = per_workload_comparison(runner, workloads)
+    table = [
+        [r.workload, r.esteem_energy_saving_pct, r.rpv_energy_saving_pct,
+         r.esteem_weighted_speedup, r.rpv_weighted_speedup]
+        for r in rows
+    ]
+    es, rpv = aggregate(raw["esteem"]), aggregate(raw["rpv"])
+    table.append(["AVERAGE", es.energy_saving_pct, rpv.energy_saving_pct,
+                  es.weighted_speedup, rpv.weighted_speedup])
+    print(format_table(
+        ["workload", "ES sav%", "RPV sav%", "ES WS", "RPV WS"],
+        table,
+        title=f"Figure {args.number}: {cores}-core, {retention:.0f}us retention",
+    ))
+    if args.csv:
+        from repro.experiments.export import write_comparisons_csv
+
+        path = write_comparisons_csv(raw["esteem"] + raw["rpv"], args.csv)
+        print(f"CSV written to {path}")
+    return 0
+
+
+def _figure_rows_from_raw(raw):
+    from repro.experiments.figures import FigureRow
+
+    rows = []
+    for es, rpv in zip(raw["esteem"], raw["rpv"]):
+        rows.append(
+            FigureRow(
+                workload=es.workload,
+                esteem_energy_saving_pct=es.energy_saving_pct,
+                rpv_energy_saving_pct=rpv.energy_saving_pct,
+                esteem_weighted_speedup=es.weighted_speedup,
+                rpv_weighted_speedup=rpv.weighted_speedup,
+                esteem_rpki_decrease=es.rpki_decrease,
+                rpv_rpki_decrease=rpv.rpki_decrease,
+                esteem_mpki_increase=es.mpki_increase,
+                esteem_active_ratio_pct=es.active_ratio_pct,
+            )
+        )
+    return rows
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 2:
+        from repro.energy.params import EDRAM_ENERGY_TABLE
+
+        rows = [
+            [f"{size // (1024 * 1024)} MB", dyn * 1e9, leak]
+            for size, (dyn, leak) in sorted(EDRAM_ENERGY_TABLE.items())
+        ]
+        print(format_table(
+            ["size", "E_dyn (nJ/access)", "P_leak (W)"], rows,
+            float_digits=3, title="Table 2: 16-way eDRAM cache energy values",
+        ))
+        return 0
+
+    system = args.system
+    cores = 1 if system == "single" else 2
+    config = SimConfig.scaled(
+        num_cores=cores, instructions_per_core=args.instructions
+    )
+    if system == "single":
+        workloads = [b.name for b in ALL_BENCHMARKS]
+    else:
+        workloads = [m.acronym for m in DUAL_CORE_MIXES]
+    if args.workloads:
+        workloads = args.workloads.split(",")
+    rows = []
+    for variant in SENSITIVITY_VARIANTS[system]:
+        agg = sensitivity_row(config, variant, workloads, seed=args.seed)
+        rows.append(
+            [variant.label, agg.energy_saving_pct, agg.weighted_speedup,
+             agg.rpki_decrease, agg.mpki_increase, agg.active_ratio_pct]
+        )
+        print(f"  done: {variant.label}", file=sys.stderr)
+    print(format_table(
+        ["row", "saving %", "WS", "dRPKI", "dMPKI", "active %"], rows,
+        title=f"Table 3 ({system}-core)",
+    ))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    pct = counter_overhead_percent(args.sets, args.ways, args.modules)
+    print(
+        f"Eq. 1 overhead for S={args.sets}, A={args.ways}, "
+        f"M={args.modules}: {pct:.4f}% of L2 capacity"
+    )
+    return 0
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    from repro.workloads.profiles import get_profile
+    from repro.workloads.synthetic import generate_trace
+
+    profile = get_profile(args.workload)
+    trace = generate_trace(profile, args.instructions, seed=args.seed)
+    import collections
+
+    gaps = trace.gaps
+    reuse = collections.Counter()
+    last_seen: dict[int, int] = {}
+    distinct_between = 0
+    for i, addr in enumerate(trace.addrs):
+        prev = last_seen.get(addr)
+        if prev is None:
+            reuse["cold"] += 1
+        else:
+            d = i - prev
+            if d <= 8:
+                reuse["<=8"] += 1
+            elif d <= 64:
+                reuse["<=64"] += 1
+            elif d <= 4096:
+                reuse["<=4096"] += 1
+            else:
+                reuse[">4096"] += 1
+        last_seen[addr] = i
+    rows = [
+        ["records", len(trace)],
+        ["instructions", trace.instructions],
+        ["L2 APKI", f"{len(trace) / trace.instructions * 1000:.2f}"],
+        ["distinct lines", trace.distinct_lines()],
+        ["footprint (paper scale)", trace.footprint_lines],
+        ["write fraction", f"{trace.write_fraction:.3f}"],
+        ["mean gap", f"{sum(gaps) / len(gaps):.1f}"],
+        ["base CPI", trace.base_cpi],
+        ["memory-level parallelism", trace.mem_mlp],
+    ]
+    for bucket in ("cold", "<=8", "<=64", "<=4096", ">4096"):
+        rows.append(
+            [f"reuse distance {bucket}",
+             f"{reuse.get(bucket, 0) / len(trace):.1%}"]
+        )
+    print(format_table(["statistic", "value"], rows,
+                       title=f"trace statistics: {args.workload}"))
+    if args.save:
+        trace.save(args.save)
+        print(f"trace written to {args.save}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ESTEEM (HPDC'14) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, mixes and techniques")
+
+    run = sub.add_parser("run", help="run techniques on one workload")
+    run.add_argument("-w", "--workload", required=True,
+                     help="benchmark name/acronym, or mix acronym with --cores 2")
+    run.add_argument(
+        "-t", "--technique", nargs="+", default=["esteem", "rpv"],
+        choices=[t for t in TECHNIQUES],
+    )
+    _add_machine_args(run)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument("number", type=int, choices=(2, 3, 4, 5, 6))
+    fig.add_argument("--workload", default="h264ref",
+                     help="workload for figure 2")
+    fig.add_argument("--workloads", default=None,
+                     help="comma-separated subset for figures 3-6")
+    fig.add_argument("--csv", default=None,
+                     help="also write per-workload comparisons as CSV")
+    _add_machine_args(fig)
+
+    tab = sub.add_parser("table", help="regenerate a paper table")
+    tab.add_argument("number", type=int, choices=(2, 3))
+    tab.add_argument("--system", choices=("single", "dual"), default="single")
+    tab.add_argument("--workloads", default=None,
+                     help="comma-separated workload subset")
+    _add_machine_args(tab)
+
+    ovh = sub.add_parser("overhead", help="evaluate Eq. 1 counter overhead")
+    ovh.add_argument("--sets", type=int, default=4096)
+    ovh.add_argument("--ways", type=int, default=16)
+    ovh.add_argument("--modules", type=int, default=16)
+
+    ts = sub.add_parser(
+        "trace-stats", help="generate a workload trace and characterise it"
+    )
+    ts.add_argument("-w", "--workload", required=True)
+    ts.add_argument("--instructions", type=int, default=4_000_000)
+    ts.add_argument("--seed", type=int, default=0)
+    ts.add_argument("--save", default=None,
+                    help="also write the trace as a .npz file")
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "figure": _cmd_figure,
+        "table": _cmd_table,
+        "overhead": _cmd_overhead,
+        "trace-stats": _cmd_trace_stats,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

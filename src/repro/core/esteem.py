@@ -1,0 +1,151 @@
+"""The interval-driven ESTEEM controller (system S13).
+
+Ties the pieces together: at the end of every interval (10 M cycles at
+paper scale) the controller reads the ATD histograms, runs Algorithm 1,
+applies the way-count decisions through the reconfiguration controller,
+flushes dirty lines to memory as posted writebacks, and accounts the
+``N_L`` block transitions for the energy model (Eq. 8).
+
+The optional ``max_way_delta`` damping implements the extension the paper
+sketches as future work in Section 7.2 ("restricting the maximum number of
+change in associativity in each interval").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import EsteemConfig
+from repro.core.algorithm import AlgorithmDecision, esteem_decide
+from repro.core.atd import ATDProfiler
+from repro.core.modules import ModuleMap
+from repro.core.reconfig import ReconfigStats, ReconfigurationController
+from repro.mem.dram import MainMemory
+
+__all__ = ["EsteemController", "IntervalDecision"]
+
+
+@dataclass(frozen=True)
+class IntervalDecision:
+    """Record of one interval's reconfiguration (drives Figure 2)."""
+
+    interval_index: int
+    cycle: int
+    n_active_way: tuple[int, ...]
+    non_lru: tuple[bool, ...]
+    active_fraction: float
+    transitions: int
+    flush_writebacks: int
+    clean_discards: int
+
+
+class EsteemController:
+    """Runs Algorithm 1 every interval and reconfigures the cache."""
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        config: EsteemConfig,
+        memory: MainMemory | None = None,
+    ) -> None:
+        config.validate_for_cache(cache.geometry)
+        self.cache = cache
+        self.config = config
+        self.memory = memory
+        self.module_map = ModuleMap(
+            cache.num_sets, config.num_modules, config.sampling_ratio
+        )
+        self.profiler = ATDProfiler(cache, self.module_map)
+        self.reconfig = ReconfigurationController(
+            cache, self.module_map, drowsy=(config.gating_mode == "drowsy")
+        )
+        #: Timeline of every interval decision (Figure 2 raw data).
+        self.timeline: list[IntervalDecision] = []
+        self._interval_index = 0
+        self._delta_transitions = 0
+        self._delta_flush_writebacks = 0
+
+    # ------------------------------------------------------------------
+
+    def on_interval_end(self, now_cycle: int, window: int = 0) -> IntervalDecision:
+        """Run the energy-saving algorithm at an interval boundary."""
+        cfg = self.config
+        hist = self.profiler.snapshot()
+        decision: AlgorithmDecision = esteem_decide(
+            hist,
+            a_min=cfg.a_min,
+            alpha=cfg.alpha,
+            associativity=self.cache.associativity,
+            nonlru_guard=cfg.nonlru_guard,
+        )
+        wanted = list(decision.n_active_way)
+        if cfg.max_way_delta > 0:
+            # Future-work damping: cap how many ways may be *turned off*
+            # per interval.  Only shrinks are limited -- they are the
+            # expensive direction (each gated way flushes its lines), while
+            # growing is free, so capping growth would only add churn.
+            cur = self.reconfig.current
+            for m in range(len(wanted)):
+                lo = cur[m] - cfg.max_way_delta
+                if wanted[m] < lo:
+                    wanted[m] = lo
+
+        stats: ReconfigStats = self.reconfig.apply(wanted, window)
+        self._delta_transitions += stats.transitions
+        self._delta_flush_writebacks += len(stats.writebacks)
+        if self.memory is not None:
+            for _addr in stats.writebacks:
+                self.memory.write(now_cycle)
+
+        record = IntervalDecision(
+            interval_index=self._interval_index,
+            cycle=now_cycle,
+            n_active_way=tuple(wanted),
+            non_lru=decision.non_lru,
+            active_fraction=self.reconfig.active_fraction(),
+            transitions=stats.transitions,
+            flush_writebacks=len(stats.writebacks),
+            clean_discards=stats.clean_discards,
+        )
+        self.timeline.append(record)
+        self._interval_index += 1
+        self.profiler.reset()
+        return record
+
+    # ------------------------------------------------------------------
+    # Interval accounting for the energy model
+    # ------------------------------------------------------------------
+
+    def take_transition_delta(self) -> int:
+        """N_L since the last call."""
+        delta = self._delta_transitions
+        self._delta_transitions = 0
+        return delta
+
+    def take_flush_writeback_delta(self) -> int:
+        delta = self._delta_flush_writebacks
+        self._delta_flush_writebacks = 0
+        return delta
+
+    def active_fraction(self) -> float:
+        """Current effective F_A (leader sets included).
+
+        In drowsy mode, gated-but-valid lines keep leaking at
+        ``drowsy_leak_fraction``, so the effective leakage fraction is
+        ``active + leak_fraction * drowsy_valid``.
+        """
+        base = self.reconfig.active_fraction()
+        if self.config.gating_mode != "drowsy":
+            return base
+        state = self.cache.state
+        drowsy_valid = int((state.valid & ~state.active).sum())
+        extra = (
+            self.config.drowsy_leak_fraction
+            * drowsy_valid
+            / state.num_lines
+        )
+        return min(1.0, base + extra)
+
+    def current_way_counts(self) -> tuple[int, ...]:
+        return tuple(self.reconfig.current)

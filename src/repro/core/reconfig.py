@@ -1,0 +1,137 @@
+"""Way-gating reconfiguration controller (system S12).
+
+Section 5: "When the number of ways is reduced, the clean cache lines in
+those ways are discarded and the dirty lines are written-back.  When the
+number of ways is increased, the extra ways are simply turned-on and they
+are subsequently used for storing data."
+
+Power gating is abstracted to per-way disable bits (as in the paper, which
+assumes a circuit-level gating technique).  Every cache block whose way
+changes power state counts toward ``N_L`` (Eq. 8's transition count).
+Leader sets never reconfigure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import SetAssociativeCache
+from repro.core.modules import ModuleMap
+
+__all__ = ["ReconfigStats", "ReconfigurationController"]
+
+
+@dataclass
+class ReconfigStats:
+    """Traffic and transition accounting for one reconfiguration."""
+
+    #: N_L: blocks that were powered on or off.
+    transitions: int = 0
+    #: Dirty lines flushed to memory (line addresses).
+    writebacks: list[int] = field(default_factory=list)
+    #: Clean lines that were simply discarded.
+    clean_discards: int = 0
+    #: Modules whose way count changed.
+    modules_changed: int = 0
+
+
+class ReconfigurationController:
+    """Applies per-module active-way decisions to the cache."""
+
+    def __init__(
+        self,
+        cache: SetAssociativeCache,
+        module_map: ModuleMap,
+        drowsy: bool = False,
+    ) -> None:
+        self.cache = cache
+        self.module_map = module_map
+        #: In drowsy mode gated ways retain their data in a low-leakage
+        #: state instead of being flushed.
+        self.drowsy = drowsy
+        a = cache.associativity
+        #: Current active-way count per module (followers only).
+        self.current: list[int] = [a] * module_map.num_modules
+        self._followers: list[list[int]] = [
+            module_map.followers_in(m) for m in range(module_map.num_modules)
+        ]
+        self.total_reconfigurations = 0
+
+    # ------------------------------------------------------------------
+
+    def apply(self, n_active_way: list[int] | tuple[int, ...], window: int = 0) -> ReconfigStats:
+        """Move every module to its new active-way count.
+
+        Returns the flush/transition accounting; the caller is responsible
+        for charging the writebacks to main memory and ``N_L`` to the
+        energy model.
+        """
+        mm = self.module_map
+        cache = self.cache
+        state = cache.state
+        a = cache.associativity
+        stats = ReconfigStats()
+
+        if len(n_active_way) != mm.num_modules:
+            raise ValueError("decision width does not match module count")
+
+        for m, new in enumerate(n_active_way):
+            if not 1 <= new <= a:
+                raise ValueError(f"module {m}: active ways {new} out of range")
+            old = self.current[m]
+            if new == old:
+                continue
+            stats.modules_changed += 1
+            followers = self._followers[m]
+            if new < old and self.drowsy:
+                # Drowsy shrink: data stays put in the low-leakage state.
+                for s in followers:
+                    cache.sets[s].n_active = new
+            elif new < old:
+                # Shrink: flush lines living in the ways being gated.
+                for s in followers:
+                    cset = cache.sets[s]
+                    tags = cset.tags
+                    for way in range(new, old):
+                        tag = tags[way]
+                        if tag is not None:
+                            g = state.gidx(s, way)
+                            if state.dirty[g]:
+                                # Tags store full line addresses.
+                                stats.writebacks.append(tag)
+                            else:
+                                stats.clean_discards += 1
+                            state.valid[g] = False
+                            state.dirty[g] = False
+                            tags[way] = None
+                    cset.n_active = new
+            else:
+                # Grow: ways power on empty.
+                for s in followers:
+                    cache.sets[s].n_active = new
+            stats.transitions += abs(new - old) * len(followers)
+            self.current[m] = new
+            # Update the vectorised active mask for the refresh engine.
+            first, last = mm.set_range(m)
+            state.set_module_active_ways(first, last, new)
+            for s in mm.leaders_in(m):
+                state.set_set_fully_active(s)
+
+        if stats.modules_changed:
+            self.total_reconfigurations += 1
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def active_line_count(self) -> int:
+        """Powered-on lines, counting leader sets as fully active."""
+        mm = self.module_map
+        a = self.cache.associativity
+        leaders_total = mm.num_leaders * a
+        followers = mm.followers_per_module
+        return leaders_total + sum(n * followers for n in self.current)
+
+    def active_fraction(self) -> float:
+        """F_A including the always-on leader sets (Section 6.3)."""
+        total = self.cache.num_sets * self.cache.associativity
+        return self.active_line_count() / total

@@ -1,0 +1,33 @@
+"""Energy modelling (system S14 in DESIGN.md).
+
+Table 2's CACTI-derived eDRAM constants, a CACTI-lite scaling model for
+off-table sizes, and the paper's energy equations (1)-(8).
+"""
+
+from repro.energy.params import (
+    EDRAM_ENERGY_TABLE,
+    EnergyParams,
+    MEMORY_DYNAMIC_ENERGY_J,
+    MEMORY_LEAKAGE_W,
+    TRANSITION_ENERGY_J,
+)
+from repro.energy.cacti import CactiLite
+from repro.energy.model import (
+    EnergyAccumulator,
+    EnergyBreakdown,
+    IntervalEnergyInputs,
+    counter_overhead_percent,
+)
+
+__all__ = [
+    "CactiLite",
+    "EDRAM_ENERGY_TABLE",
+    "EnergyAccumulator",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "IntervalEnergyInputs",
+    "MEMORY_DYNAMIC_ENERGY_J",
+    "MEMORY_LEAKAGE_W",
+    "TRANSITION_ENERGY_J",
+    "counter_overhead_percent",
+]

@@ -1,0 +1,88 @@
+"""CACTI-lite: an analytical stand-in for the CACTI 5.3 lookups.
+
+The paper obtains its per-size energy constants from CACTI 5.3 (Table 2).
+For sizes outside the table (used by tests, sweeps, and anyone configuring
+a non-paper geometry) we fit a log-log power law through the table:
+
+* Dynamic energy per access grows sublinearly with capacity (longer wires,
+  wider H-trees): ``E_dyn ~ size^a``.
+* Leakage power grows close to linearly with capacity: ``P_leak ~ size^b``.
+
+Inside the table's range the model interpolates piecewise between adjacent
+table points (so table sizes are reproduced exactly); outside, it
+extrapolates with the end-segment slope.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.energy.params import EDRAM_ENERGY_TABLE
+
+__all__ = ["CactiLite"]
+
+
+@dataclass(frozen=True)
+class CactiLite:
+    """Piecewise log-log interpolation through (size, E_dyn, P_leak) points."""
+
+    sizes: tuple[int, ...]
+    dyn_j: tuple[float, ...]
+    leak_w: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) < 2:
+            raise ValueError("need at least two calibration points")
+        if not (len(self.sizes) == len(self.dyn_j) == len(self.leak_w)):
+            raise ValueError("calibration columns must align")
+        if list(self.sizes) != sorted(self.sizes):
+            raise ValueError("sizes must be ascending")
+
+    @classmethod
+    def from_table(cls) -> "CactiLite":
+        """Model calibrated on the paper's Table 2."""
+        sizes = tuple(sorted(EDRAM_ENERGY_TABLE))
+        return cls(
+            sizes=sizes,
+            dyn_j=tuple(EDRAM_ENERGY_TABLE[s][0] for s in sizes),
+            leak_w=tuple(EDRAM_ENERGY_TABLE[s][1] for s in sizes),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _interp(self, size_bytes: int, values: tuple[float, ...]) -> float:
+        if size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        sizes = self.sizes
+        x = math.log(size_bytes)
+        xs = [math.log(s) for s in sizes]
+        ys = [math.log(v) for v in values]
+        # Clamp to the end segments for extrapolation.
+        if x <= xs[0]:
+            lo, hi = 0, 1
+        elif x >= xs[-1]:
+            lo, hi = len(xs) - 2, len(xs) - 1
+        else:
+            hi = next(i for i, xv in enumerate(xs) if xv >= x)
+            lo = hi - 1
+        slope = (ys[hi] - ys[lo]) / (xs[hi] - xs[lo])
+        return math.exp(ys[lo] + slope * (x - xs[lo]))
+
+    def dynamic_energy_j(self, size_bytes: int) -> float:
+        """E_dyn per access (joules) for an arbitrary capacity."""
+        return self._interp(size_bytes, self.dyn_j)
+
+    def leakage_power_w(self, size_bytes: int) -> float:
+        """P_leak (watts) for an arbitrary capacity."""
+        return self._interp(size_bytes, self.leak_w)
+
+    def scaling_exponents(self) -> tuple[float, float]:
+        """Average log-log slopes (dynamic, leakage) across the table."""
+        xs = [math.log(s) for s in self.sizes]
+
+        def avg_slope(values: tuple[float, ...]) -> float:
+            ys = [math.log(v) for v in values]
+            return (ys[-1] - ys[0]) / (xs[-1] - xs[0])
+
+        return avg_slope(self.dyn_j), avg_slope(self.leak_w)

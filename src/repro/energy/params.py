@@ -1,0 +1,97 @@
+"""Energy constants from the paper (Section 6.3, Table 2).
+
+Table 2 gives CACTI 5.3 values at 32 nm for a 16-way eDRAM cache:
+
+======  ==================  =================
+Size    E_dyn (nJ/access)   P_leak (Watts)
+======  ==================  =================
+2 MB    0.186               0.096
+4 MB    0.212               0.116
+8 MB    0.282               0.280
+16 MB   0.370               0.456
+32 MB   0.467               1.056
+======  ==================  =================
+
+Main memory: ``E_dyn = 70 nJ/access``, ``P_leak = 0.18 W``.  A cache-block
+power-state transition costs ``E_chi = 2 pJ``.
+
+Sanity anchor: with these constants a periodically-refreshed 4 MB cache at
+50 us retention spends ``65536 lines / 50 us * 0.212 nJ = 0.278 W`` on
+refresh against 0.116 W of leakage -- refresh is ~70% of (refresh+leakage)
+energy, exactly the fraction the paper quotes from Agrawal et al. [4].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "EDRAM_ENERGY_TABLE",
+    "EnergyParams",
+    "MEMORY_DYNAMIC_ENERGY_J",
+    "MEMORY_LEAKAGE_W",
+    "TRANSITION_ENERGY_J",
+]
+
+#: Table 2: cache size in bytes -> (dynamic energy J/access, leakage W).
+EDRAM_ENERGY_TABLE: dict[int, tuple[float, float]] = {
+    2 * 1024 * 1024: (0.186e-9, 0.096),
+    4 * 1024 * 1024: (0.212e-9, 0.116),
+    8 * 1024 * 1024: (0.282e-9, 0.280),
+    16 * 1024 * 1024: (0.370e-9, 0.456),
+    32 * 1024 * 1024: (0.467e-9, 1.056),
+}
+
+#: Main-memory dynamic energy per access (70 nJ).
+MEMORY_DYNAMIC_ENERGY_J: float = 70e-9
+
+#: Main-memory leakage power (0.18 W).
+MEMORY_LEAKAGE_W: float = 0.18
+
+#: Energy of one cache-block power-state transition, E_chi (2 pJ).
+TRANSITION_ENERGY_J: float = 2e-12
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """The complete constant set consumed by the energy equations."""
+
+    #: E_dyn^L2, joules per L2 access.
+    l2_dynamic_j: float
+    #: P_leak^L2 at full power, watts.
+    l2_leakage_w: float
+    #: E_dyn^MM, joules per memory access.
+    mem_dynamic_j: float = MEMORY_DYNAMIC_ENERGY_J
+    #: P_leak^MM, watts.
+    mem_leakage_w: float = MEMORY_LEAKAGE_W
+    #: E_chi, joules per block power-state transition.
+    transition_j: float = TRANSITION_ENERGY_J
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "l2_dynamic_j",
+            "l2_leakage_w",
+            "mem_dynamic_j",
+            "mem_leakage_w",
+            "transition_j",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+
+    @classmethod
+    def for_cache_size(cls, size_bytes: int) -> "EnergyParams":
+        """Parameters for a Table 2 size; interpolates otherwise.
+
+        Sizes present in Table 2 are returned exactly; other sizes fall
+        back to the CACTI-lite log-log interpolation model.
+        """
+        entry = EDRAM_ENERGY_TABLE.get(size_bytes)
+        if entry is not None:
+            return cls(l2_dynamic_j=entry[0], l2_leakage_w=entry[1])
+        from repro.energy.cacti import CactiLite
+
+        model = CactiLite.from_table()
+        return cls(
+            l2_dynamic_j=model.dynamic_energy_j(size_bytes),
+            l2_leakage_w=model.leakage_power_w(size_bytes),
+        )

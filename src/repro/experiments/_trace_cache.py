@@ -1,0 +1,32 @@
+"""Process-wide trace cache.
+
+Trace generation is deterministic in ``(benchmark, instruction budget,
+seed)`` but costs up to a second per streaming workload, and every
+figure/table bench reuses the same traces across techniques and
+configurations.  This module memoises them for the lifetime of the process.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace
+
+__all__ = ["get_trace", "clear"]
+
+_CACHE: dict[tuple[str, int, int], Trace] = {}
+
+
+def get_trace(profile: BenchmarkProfile, max_instructions: int, seed: int) -> Trace:
+    """Memoised :func:`repro.workloads.synthetic.generate_trace`."""
+    key = (profile.name, max_instructions, seed)
+    trace = _CACHE.get(key)
+    if trace is None:
+        trace = generate_trace(profile, max_instructions, seed=seed)
+        _CACHE[key] = trace
+    return trace
+
+
+def clear() -> None:
+    """Drop all cached traces (tests use this to bound memory)."""
+    _CACHE.clear()

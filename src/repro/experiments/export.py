@@ -1,0 +1,75 @@
+"""CSV export of experiment results.
+
+Turns :class:`~repro.experiments.runner.RunComparison` lists into flat CSV
+for external plotting (the paper's figures are bar charts; the harness
+prints text tables, and this module feeds matplotlib/gnuplot/pandas users).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable
+
+from repro.experiments.runner import RunComparison
+
+__all__ = ["COMPARISON_FIELDS", "comparisons_to_csv", "write_comparisons_csv"]
+
+#: Columns emitted for each comparison, in order.
+COMPARISON_FIELDS: tuple[str, ...] = (
+    "workload",
+    "technique",
+    "energy_saving_pct",
+    "weighted_speedup",
+    "fair_speedup",
+    "rpki_decrease",
+    "mpki_increase",
+    "active_ratio_pct",
+    "baseline_ipc",
+    "technique_ipc",
+    "baseline_rpki",
+    "baseline_mpki",
+    "l2_miss_rate",
+    "total_energy_j",
+    "baseline_energy_j",
+)
+
+
+def _row(c: RunComparison) -> dict[str, object]:
+    return {
+        "workload": c.workload,
+        "technique": c.technique,
+        "energy_saving_pct": c.energy_saving_pct,
+        "weighted_speedup": c.weighted_speedup,
+        "fair_speedup": c.fair_speedup,
+        "rpki_decrease": c.rpki_decrease,
+        "mpki_increase": c.mpki_increase,
+        "active_ratio_pct": c.active_ratio_pct,
+        "baseline_ipc": sum(c.baseline.ipcs) / len(c.baseline.ipcs),
+        "technique_ipc": sum(c.result.ipcs) / len(c.result.ipcs),
+        "baseline_rpki": c.baseline.rpki,
+        "baseline_mpki": c.baseline.mpki,
+        "l2_miss_rate": c.result.l2_miss_rate,
+        "total_energy_j": c.result.total_energy_j,
+        "baseline_energy_j": c.baseline.total_energy_j,
+    }
+
+
+def comparisons_to_csv(comparisons: Iterable[RunComparison]) -> str:
+    """Render comparisons as a CSV string (header + one row each)."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(COMPARISON_FIELDS))
+    writer.writeheader()
+    for c in comparisons:
+        writer.writerow(_row(c))
+    return buf.getvalue()
+
+
+def write_comparisons_csv(
+    comparisons: Iterable[RunComparison], path: str | Path
+) -> Path:
+    """Write comparisons to ``path``; returns the resolved path."""
+    path = Path(path)
+    path.write_text(comparisons_to_csv(comparisons))
+    return path

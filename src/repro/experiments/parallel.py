@@ -1,0 +1,72 @@
+"""Process-parallel experiment execution.
+
+The figure/table sweeps are embarrassingly parallel across workloads: each
+(workload, techniques) unit regenerates its traces, runs the baseline once,
+and runs each technique against it.  This module fans those units out over
+a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Granularity note: parallelism is per *workload*, not per (workload,
+technique) -- the baseline run and the generated traces are shared between
+techniques within a worker, which is the same sharing the sequential
+:class:`~repro.experiments.runner.Runner` exploits.
+
+Everything crossing the process boundary (configs, traces, results) is
+plain dataclasses/ints, so the default pickling works.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.config import SimConfig
+from repro.experiments.runner import RunComparison, Runner
+
+__all__ = ["parallel_compare"]
+
+
+def _workload_task(
+    args: tuple[SimConfig, str, tuple[str, ...], int],
+) -> list[RunComparison]:
+    """Worker: all techniques for one workload (module-level: picklable)."""
+    config, workload, techniques, seed = args
+    runner = Runner(config, seed=seed)
+    return [runner.compare(workload, technique) for technique in techniques]
+
+
+def parallel_compare(
+    config: SimConfig,
+    workloads: Iterable[str],
+    techniques: Sequence[str] = ("esteem", "rpv"),
+    seed: int = 0,
+    jobs: int | None = None,
+) -> dict[str, list[RunComparison]]:
+    """Run ``techniques`` on every workload, fanned out over processes.
+
+    Returns comparisons keyed by technique, in workload order -- the same
+    shape as running :meth:`Runner.compare_many` per technique, but using
+    up to ``jobs`` worker processes (default: the machine's CPU count).
+    """
+    workload_list = list(workloads)
+    if not workload_list:
+        raise ValueError("need at least one workload")
+    technique_tuple = tuple(techniques)
+    if not technique_tuple:
+        raise ValueError("need at least one technique")
+
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    jobs = max(1, min(jobs, len(workload_list)))
+
+    tasks = [(config, w, technique_tuple, seed) for w in workload_list]
+    if jobs == 1:
+        results = [_workload_task(t) for t in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(_workload_task, tasks))
+
+    out: dict[str, list[RunComparison]] = {t: [] for t in technique_tuple}
+    for per_workload in results:
+        for comparison in per_workload:
+            out[comparison.technique].append(comparison)
+    return out

@@ -1,0 +1,165 @@
+"""Workload execution and baseline comparison (system S17).
+
+:class:`Runner` owns a trace cache (traces are deterministic functions of
+``(benchmark, instruction budget, seed)`` and are reused across techniques
+and configurations so every comparison sees identical access streams) and
+produces :class:`RunComparison` objects carrying the paper's metrics
+(Section 6.4): % energy saving, weighted/fair speedup, RPKI decrease, MPKI
+increase, and active ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.config import SimConfig
+from repro.experiments import _trace_cache
+from repro.metrics.speedup import (
+    arithmetic_mean,
+    fair_speedup,
+    geometric_mean,
+    weighted_speedup,
+)
+from repro.timing.system import System, SystemResult
+from repro.workloads.multiprog import get_mix
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
+
+__all__ = ["AggregateResult", "RunComparison", "Runner", "aggregate"]
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """One technique's run against the baseline run of the same workload."""
+
+    workload: str
+    technique: str
+    result: SystemResult
+    baseline: SystemResult
+
+    @property
+    def energy_saving_pct(self) -> float:
+        """% memory-subsystem (L2 + MM) energy saved vs the baseline."""
+        base = self.baseline.total_energy_j
+        if base <= 0:
+            return 0.0
+        return (base - self.result.total_energy_j) / base * 100.0
+
+    @property
+    def weighted_speedup(self) -> float:
+        """Eq. 9 relative performance."""
+        return weighted_speedup(self.result.ipcs, self.baseline.ipcs)
+
+    @property
+    def fair_speedup(self) -> float:
+        return fair_speedup(self.result.ipcs, self.baseline.ipcs)
+
+    @property
+    def rpki_decrease(self) -> float:
+        """Absolute reduction in refreshes per kilo-instruction."""
+        return self.baseline.rpki - self.result.rpki
+
+    @property
+    def mpki_increase(self) -> float:
+        """Absolute increase in L2 MPKI caused by the technique."""
+        return self.result.mpki - self.baseline.mpki
+
+    @property
+    def active_ratio_pct(self) -> float:
+        """Mean active fraction of the cache, in percent."""
+        return self.result.mean_active_fraction * 100.0
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Workload-averaged metrics (Section 6.4 averaging rules)."""
+
+    technique: str
+    workloads: int
+    energy_saving_pct: float
+    weighted_speedup: float
+    fair_speedup: float
+    rpki_decrease: float
+    mpki_increase: float
+    active_ratio_pct: float
+
+
+def aggregate(comparisons: Iterable[RunComparison]) -> AggregateResult:
+    """Average comparisons: geomean for speedups, arithmetic otherwise."""
+    comps = list(comparisons)
+    if not comps:
+        raise ValueError("nothing to aggregate")
+    techniques = {c.technique for c in comps}
+    if len(techniques) != 1:
+        raise ValueError("aggregate one technique at a time")
+    return AggregateResult(
+        technique=comps[0].technique,
+        workloads=len(comps),
+        energy_saving_pct=arithmetic_mean([c.energy_saving_pct for c in comps]),
+        weighted_speedup=geometric_mean([c.weighted_speedup for c in comps]),
+        fair_speedup=geometric_mean([c.fair_speedup for c in comps]),
+        rpki_decrease=arithmetic_mean([c.rpki_decrease for c in comps]),
+        mpki_increase=arithmetic_mean([c.mpki_increase for c in comps]),
+        active_ratio_pct=arithmetic_mean([c.active_ratio_pct for c in comps]),
+    )
+
+
+class Runner:
+    """Runs workloads under a configuration, reusing traces and baselines."""
+
+    def __init__(self, config: SimConfig | None = None, seed: int = 0) -> None:
+        self.config = config if config is not None else SimConfig.scaled()
+        self.seed = seed
+        # Baseline results are reused across techniques for one workload.
+        self._baseline_cache: dict[str, SystemResult] = {}
+
+    # ------------------------------------------------------------------
+    # Trace handling
+    # ------------------------------------------------------------------
+
+    def traces_for(self, workload: str) -> list[Trace]:
+        """Traces for a workload name.
+
+        ``workload`` is a benchmark name/acronym for single-core configs or
+        a Table 1 mix acronym (e.g. ``"GkNe"``) for dual-core configs.
+        """
+        budget = self.config.instructions_per_core
+        if self.config.num_cores == 1:
+            profile = get_profile(workload)
+            return [_trace_cache.get_trace(profile, budget, self.seed)]
+        mix = get_mix(workload)
+        return [
+            _trace_cache.get_trace(p, budget, self.seed) for p in mix.profiles
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, workload: str, technique: str) -> SystemResult:
+        """Simulate one (workload, technique) pair."""
+        traces = self.traces_for(workload)
+        return System(self.config, traces, technique).run()
+
+    def baseline(self, workload: str) -> SystemResult:
+        """Baseline run (cached per workload)."""
+        cached = self._baseline_cache.get(workload)
+        if cached is None:
+            cached = self.run(workload, "baseline")
+            self._baseline_cache[workload] = cached
+        return cached
+
+    def compare(self, workload: str, technique: str) -> RunComparison:
+        """Run ``technique`` and compare it against the cached baseline."""
+        return RunComparison(
+            workload=workload,
+            technique=technique,
+            result=self.run(workload, technique),
+            baseline=self.baseline(workload),
+        )
+
+    def compare_many(
+        self, workloads: Iterable[str], technique: str
+    ) -> list[RunComparison]:
+        return [self.compare(w, technique) for w in workloads]

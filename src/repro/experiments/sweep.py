@@ -1,0 +1,33 @@
+"""Generic parameter sweeps.
+
+A thin layer over :class:`~repro.experiments.runner.Runner` used by the
+ablation benches: evaluate one technique across a family of labelled
+configurations on the same workload list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.config import SimConfig
+from repro.experiments.runner import AggregateResult, Runner, aggregate
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    configs: Mapping[str, SimConfig],
+    workloads: Iterable[str],
+    technique: str = "esteem",
+    seed: int = 0,
+) -> dict[str, AggregateResult]:
+    """Run ``technique`` under every labelled config; aggregate per label."""
+    workload_list = list(workloads)
+    if not workload_list:
+        raise ValueError("need at least one workload")
+    out: dict[str, AggregateResult] = {}
+    for label, config in configs.items():
+        runner = Runner(config, seed=seed)
+        comparisons = runner.compare_many(workload_list, technique)
+        out[label] = aggregate(comparisons)
+    return out

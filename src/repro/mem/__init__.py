@@ -1,0 +1,5 @@
+"""Main-memory substrate (system S3 in DESIGN.md)."""
+
+from repro.mem.dram import MainMemory
+
+__all__ = ["MainMemory"]

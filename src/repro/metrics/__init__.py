@@ -1,0 +1,18 @@
+"""Evaluation metrics (system S16 in DESIGN.md)."""
+
+from repro.metrics.stats import CounterDeltas, IntervalTracker
+from repro.metrics.speedup import (
+    arithmetic_mean,
+    fair_speedup,
+    geometric_mean,
+    weighted_speedup,
+)
+
+__all__ = [
+    "CounterDeltas",
+    "IntervalTracker",
+    "arithmetic_mean",
+    "fair_speedup",
+    "geometric_mean",
+    "weighted_speedup",
+]

@@ -1,0 +1,64 @@
+"""Speedup and averaging metrics (Section 6.4).
+
+Weighted speedup (Eq. 9) is the per-core mean of IPC ratios against the
+baseline; fair speedup is their harmonic mean (the paper reports it is
+close to WS, i.e. no unfairness).  Speedups are averaged across workloads
+with the geometric mean; metrics that can be zero or negative (energy
+deltas, MPKI/RPKI deltas) use the arithmetic mean (Section 6.4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "arithmetic_mean",
+    "fair_speedup",
+    "geometric_mean",
+    "weighted_speedup",
+]
+
+
+def weighted_speedup(
+    technique_ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Eq. 9: mean of per-core ``IPC_tech / IPC_base`` ratios."""
+    if len(technique_ipcs) != len(baseline_ipcs) or not technique_ipcs:
+        raise ValueError("need matching, non-empty IPC vectors")
+    total = 0.0
+    for tech, base in zip(technique_ipcs, baseline_ipcs):
+        if base <= 0:
+            raise ValueError("baseline IPC must be positive")
+        total += tech / base
+    return total / len(technique_ipcs)
+
+
+def fair_speedup(
+    technique_ipcs: Sequence[float], baseline_ipcs: Sequence[float]
+) -> float:
+    """Harmonic mean of the per-core speedups (fairness-sensitive)."""
+    if len(technique_ipcs) != len(baseline_ipcs) or not technique_ipcs:
+        raise ValueError("need matching, non-empty IPC vectors")
+    denom = 0.0
+    for tech, base in zip(technique_ipcs, baseline_ipcs):
+        if tech <= 0 or base <= 0:
+            raise ValueError("IPCs must be positive for fair speedup")
+        denom += base / tech
+    return len(technique_ipcs) / denom
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (used for speedups across workloads)."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (used for metrics that may be zero/negative)."""
+    if not values:
+        raise ValueError("need at least one value")
+    return sum(values) / len(values)

@@ -1,0 +1,76 @@
+"""Interval counter bookkeeping.
+
+The energy equations consume per-interval *deltas* of monotonic counters
+(L2 hits/misses, refreshes, memory accesses).  :class:`IntervalTracker`
+snapshots the monotonic totals at each boundary and hands back deltas, plus
+the time-weighted active-fraction average used for the ActiveRatio metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CounterDeltas", "IntervalTracker"]
+
+
+@dataclass(frozen=True)
+class CounterDeltas:
+    """Per-interval counter changes."""
+
+    l2_hits: int
+    l2_misses: int
+    refreshes: int
+    mem_accesses: int
+    cycles: float
+
+
+class IntervalTracker:
+    """Delta extraction + time-weighted active-ratio accumulation."""
+
+    def __init__(self) -> None:
+        self._last_hits = 0
+        self._last_misses = 0
+        self._last_mem = 0
+        self._last_cycle = 0.0
+        self._weighted_active = 0.0
+        self._weighted_cycles = 0.0
+
+    def take(
+        self,
+        now_cycle: float,
+        l2_hits: int,
+        l2_misses: int,
+        refreshes_delta: int,
+        mem_accesses: int,
+        active_fraction: float,
+    ) -> CounterDeltas:
+        """Close an interval ending at ``now_cycle``.
+
+        ``l2_hits``/``l2_misses``/``mem_accesses`` are monotonic totals;
+        ``refreshes_delta`` is already a delta (the refresh engines expose
+        ``take_refresh_delta``).
+        """
+        cycles = now_cycle - self._last_cycle
+        if cycles < 0:
+            raise ValueError("interval boundaries must be non-decreasing")
+        deltas = CounterDeltas(
+            l2_hits=l2_hits - self._last_hits,
+            l2_misses=l2_misses - self._last_misses,
+            refreshes=refreshes_delta,
+            mem_accesses=mem_accesses - self._last_mem,
+            cycles=cycles,
+        )
+        self._last_hits = l2_hits
+        self._last_misses = l2_misses
+        self._last_mem = mem_accesses
+        self._last_cycle = now_cycle
+        self._weighted_active += active_fraction * cycles
+        self._weighted_cycles += cycles
+        return deltas
+
+    @property
+    def mean_active_fraction(self) -> float:
+        """Time-weighted average F_A over all closed intervals."""
+        if self._weighted_cycles <= 0:
+            return 1.0
+        return self._weighted_active / self._weighted_cycles

@@ -1,0 +1,20 @@
+"""LLC technology comparison substrate (paper Sections 1-2 context).
+
+The paper motivates eDRAM by comparison: SRAM leaks ~8x more, NVMs
+(STT-RAM/ReRAM) have near-zero leakage but limited write endurance and
+slow, expensive writes.  This package models those alternatives around the
+same cache geometry so the motivation can be measured
+(``benchmarks/bench_tech_comparison.py``).
+"""
+
+from repro.tech.params import TECHNOLOGIES, TechnologyParams, get_technology
+from repro.tech.compare import TechResult, TechSystem, evaluate_technology
+
+__all__ = [
+    "TECHNOLOGIES",
+    "TechResult",
+    "TechSystem",
+    "TechnologyParams",
+    "evaluate_technology",
+    "get_technology",
+]

@@ -1,0 +1,121 @@
+"""Per-technology LLC cell parameters.
+
+Values are expressed *relative to the paper's eDRAM numbers* (Table 2)
+so the comparison inherits the calibrated absolute scale.  Sources for the
+relative factors, all from the paper's own framing and its citations:
+
+* **SRAM**: "nearly 1/8th leakage power consumption [for eDRAM] compared
+  to SRAM" (Section 1, citing Agrawal et al. [4]) -> SRAM leakage = 8x.
+  Slightly faster access; no refresh; effectively unlimited endurance;
+  ~4x larger cells (Section 1's density argument [40]).
+* **STT-RAM**: near-zero array leakage (peripheral logic remains: ~0.15x),
+  reads comparable to SRAM, writes slow and energy-hungry ("limited write
+  endurance and high write-latency", Section 1, citing Qureshi et al.
+  [36]; Chang et al.'s L3C study [11] uses ~2-3x read latency for writes
+  and ~5-8x write energy).  Endurance ~4e12 writes.
+* **ReRAM**: similar leakage profile, worse write energy/latency, and the
+  critical weakness the paper alludes to -- endurance around 1e8 writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TECHNOLOGIES", "TechnologyParams", "get_technology"]
+
+
+@dataclass(frozen=True)
+class TechnologyParams:
+    """One memory technology's LLC characteristics, relative to eDRAM."""
+
+    name: str
+    #: Array leakage relative to the Table 2 eDRAM value.
+    leakage_scale: float
+    #: Read (and refresh, where applicable) dynamic energy scale.
+    read_energy_scale: float
+    #: Write dynamic energy scale.
+    write_energy_scale: float
+    #: L2 access latency in cycles (reads / writes).
+    read_latency_cycles: int
+    write_latency_cycles: int
+    #: Retention period in microseconds; ``None`` means no refresh needed.
+    retention_us: float | None
+    #: Maximum writes per cell before wear-out; ``None`` = unlimited.
+    write_endurance: float | None
+    #: Relative cell area (density argument; eDRAM = 1.0).
+    cell_area_scale: float
+
+    def __post_init__(self) -> None:
+        if self.leakage_scale < 0 or self.read_energy_scale <= 0:
+            raise ValueError("energy scales must be positive")
+        if self.write_energy_scale <= 0:
+            raise ValueError("write energy scale must be positive")
+        if min(self.read_latency_cycles, self.write_latency_cycles) <= 0:
+            raise ValueError("latencies must be positive")
+        if self.retention_us is not None and self.retention_us <= 0:
+            raise ValueError("retention must be positive or None")
+        if self.write_endurance is not None and self.write_endurance <= 0:
+            raise ValueError("endurance must be positive or None")
+
+    @property
+    def needs_refresh(self) -> bool:
+        """Whether the technology's cells lose charge (eDRAM only)."""
+        return self.retention_us is not None
+
+
+TECHNOLOGIES: dict[str, TechnologyParams] = {
+    "edram": TechnologyParams(
+        name="edram",
+        leakage_scale=1.0,
+        read_energy_scale=1.0,
+        write_energy_scale=1.0,
+        read_latency_cycles=12,
+        write_latency_cycles=12,
+        retention_us=50.0,
+        write_endurance=None,
+        cell_area_scale=1.0,
+    ),
+    "sram": TechnologyParams(
+        name="sram",
+        leakage_scale=8.0,
+        read_energy_scale=0.9,
+        write_energy_scale=0.9,
+        read_latency_cycles=10,
+        write_latency_cycles=10,
+        retention_us=None,
+        write_endurance=None,
+        cell_area_scale=4.0,
+    ),
+    "sttram": TechnologyParams(
+        name="sttram",
+        leakage_scale=0.15,
+        read_energy_scale=0.9,
+        write_energy_scale=6.0,
+        read_latency_cycles=10,
+        write_latency_cycles=30,
+        retention_us=None,
+        write_endurance=4e12,
+        cell_area_scale=0.8,
+    ),
+    "reram": TechnologyParams(
+        name="reram",
+        leakage_scale=0.10,
+        read_energy_scale=0.9,
+        write_energy_scale=8.0,
+        read_latency_cycles=10,
+        write_latency_cycles=45,
+        retention_us=None,
+        write_endurance=1e8,
+        cell_area_scale=0.6,
+    ),
+}
+
+
+def get_technology(name: str) -> TechnologyParams:
+    """Look up a technology by name ("edram", "sram", "sttram", "reram")."""
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technology {name!r}; known: {sorted(TECHNOLOGIES)}"
+        ) from None

@@ -1,0 +1,14 @@
+"""Timing model: cores, cycle accounting, the multi-core loop (S4-S5)."""
+
+from repro.timing.core_model import CoreResult, CoreState
+from repro.timing.system import System, SystemResult, TECHNIQUES
+from repro.timing.full_system import FullHierarchySystem
+
+__all__ = [
+    "CoreResult",
+    "CoreState",
+    "FullHierarchySystem",
+    "System",
+    "SystemResult",
+    "TECHNIQUES",
+]

@@ -1,0 +1,91 @@
+"""Per-core cycle accounting (system S4).
+
+The cores are in-order with an additive latency model, mirroring the simple
+timing platform of Section 6.1: every instruction costs the workload's base
+CPI (which folds in issue width and L1-hit latency for LLC-mode traces),
+and every L2-level access adds the L2 latency, any refresh-collision stall,
+and -- on a miss -- the main-memory latency including queueing delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.trace import Trace, TraceCursor
+
+__all__ = ["CoreResult", "CoreState"]
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Per-core outcome of a run."""
+
+    core_id: int
+    workload: str
+    #: Instructions in one full trace pass (the measured window).
+    first_pass_instructions: int
+    #: Cycle at which the first trace pass completed.
+    first_pass_cycles: float
+    #: Instructions executed in total, including wrapped passes.
+    total_instructions: int
+    #: Trace passes completed (>= 1; > 1 for early finishers, Section 6.4).
+    wraps: int
+
+    @property
+    def ipc(self) -> float:
+        """IPC over the measured (first-pass) window."""
+        if self.first_pass_cycles <= 0:
+            return 0.0
+        return self.first_pass_instructions / self.first_pass_cycles
+
+
+class CoreState:
+    """Mutable per-core simulation state."""
+
+    __slots__ = (
+        "core_id",
+        "cursor",
+        "addr_offset",
+        "base_cpi",
+        "mem_mlp",
+        "cycles",
+        "instructions",
+        "first_pass_cycles",
+        "first_pass_instructions",
+    )
+
+    def __init__(self, core_id: int, trace: Trace, addr_offset: int) -> None:
+        self.core_id = core_id
+        self.cursor = TraceCursor(trace)
+        self.addr_offset = addr_offset
+        self.base_cpi = trace.base_cpi
+        self.mem_mlp = trace.mem_mlp
+        self.cycles = 0.0
+        self.instructions = 0
+        self.first_pass_cycles = 0.0
+        self.first_pass_instructions = 0
+
+    @property
+    def wrapped(self) -> bool:
+        return self.cursor.wraps > 0
+
+    def retire(self, gap: int, access_latency: float) -> None:
+        """Advance time past ``gap`` plain instructions + one L2 access."""
+        self.cycles += (gap + 1) * self.base_cpi + access_latency
+        self.instructions += gap + 1
+
+    def note_wrap_if_any(self) -> None:
+        """Record the measured window the first time the trace wraps."""
+        if self.cursor.wraps == 1 and self.first_pass_cycles == 0.0:
+            self.first_pass_cycles = self.cycles
+            self.first_pass_instructions = self.instructions
+
+    def result(self, workload: str) -> CoreResult:
+        return CoreResult(
+            core_id=self.core_id,
+            workload=workload,
+            first_pass_instructions=self.first_pass_instructions,
+            first_pass_cycles=self.first_pass_cycles,
+            total_instructions=self.instructions,
+            wraps=self.cursor.wraps,
+        )

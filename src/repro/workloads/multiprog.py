@@ -1,0 +1,75 @@
+"""The 17 dual-core multiprogrammed workloads of Table 1.
+
+The paper builds them by randomly pairing the 34 benchmarks such that each
+benchmark is used exactly once; we reproduce the exact pairings and acronyms
+printed in Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.profiles import BenchmarkProfile, get_profile
+
+__all__ = ["DUAL_CORE_MIXES", "DualCoreMix", "get_mix"]
+
+
+@dataclass(frozen=True)
+class DualCoreMix:
+    """One two-benchmark multiprogrammed workload."""
+
+    acronym: str
+    benchmarks: tuple[str, str]
+
+    @property
+    def profiles(self) -> tuple[BenchmarkProfile, BenchmarkProfile]:
+        return (get_profile(self.benchmarks[0]), get_profile(self.benchmarks[1]))
+
+    @property
+    def name(self) -> str:
+        return f"{self.benchmarks[0]}-{self.benchmarks[1]}"
+
+
+#: Exact pairings from Table 1.
+DUAL_CORE_MIXES: tuple[DualCoreMix, ...] = (
+    DualCoreMix("GmDl", ("gemsFDTD", "dealII")),
+    DualCoreMix("AsXb", ("astar", "xsbench")),
+    DualCoreMix("GcGa", ("gcc", "gamess")),
+    DualCoreMix("BzXa", ("bzip2", "xalancbmk")),
+    DualCoreMix("LsLb", ("leslie3d", "lbm")),
+    DualCoreMix("GkNe", ("gobmk", "nekbone")),
+    DualCoreMix("OmGr", ("omnetpp", "gromacs")),
+    DualCoreMix("NdCd", ("namd", "cactusADM")),
+    DualCoreMix("CaTo", ("calculix", "tonto")),
+    DualCoreMix("SpBw", ("sphinx", "bwaves")),
+    DualCoreMix("LqPo", ("libquantum", "povray")),
+    DualCoreMix("SjWr", ("sjeng", "wrf")),
+    DualCoreMix("PeZe", ("perlbench", "zeusmp")),
+    DualCoreMix("HmH2", ("hmmer", "h264ref")),
+    DualCoreMix("SoMi", ("soplex", "milc")),
+    DualCoreMix("McLu", ("mcf", "lulesh")),
+    DualCoreMix("CoAm", ("comd", "amg2013")),
+)
+
+_BY_ACRONYM = {m.acronym: m for m in DUAL_CORE_MIXES}
+
+
+def get_mix(acronym: str) -> DualCoreMix:
+    """Look up a dual-core mix by its Table 1 acronym (e.g. ``"GkNe"``)."""
+    try:
+        return _BY_ACRONYM[acronym]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {acronym!r}; known: {sorted(_BY_ACRONYM)}"
+        ) from None
+
+
+def validate_table1_coverage() -> None:
+    """Every benchmark appears in exactly one mix (Table 1 property)."""
+    seen: list[str] = []
+    for mix in DUAL_CORE_MIXES:
+        seen.extend(mix.benchmarks)
+    if len(seen) != len(set(seen)):
+        raise AssertionError("a benchmark appears in more than one mix")
+    if len(seen) != 34:
+        raise AssertionError(f"expected all 34 benchmarks, found {len(seen)}")

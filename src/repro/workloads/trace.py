@@ -1,0 +1,157 @@
+"""Trace containers: the unit of work the timing model consumes.
+
+A trace is a sequence of L2-level access records.  Each record is
+``(line_addr, is_write, gap)`` where ``gap`` is the number of instructions
+retired since the previous L2 access (this folds the L1 filtering into the
+trace: ``gap`` counts both non-memory instructions and L1-hit accesses,
+whose latency is absorbed into the workload's base CPI -- see DESIGN.md
+section 1 on the substitution for Sniper + SPEC traces).
+
+Storage is three parallel lists (fast to iterate with ``zip``); NumPy is
+used only for (de)serialisation.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["Trace", "TraceCursor"]
+
+
+@dataclass
+class Trace:
+    """An L2-level access trace for one core.
+
+    Attributes
+    ----------
+    name:
+        Workload name ("h264ref", ...).
+    addrs / writes / gaps:
+        Parallel per-record lists: line address, store flag, instructions
+        since the previous record.
+    base_cpi:
+        Cycles per instruction charged for the ``gap`` work (captures issue
+        width, L1 hit latency, and non-memory stalls for this workload).
+    """
+
+    name: str
+    addrs: list[int] = field(default_factory=list)
+    writes: list[bool] = field(default_factory=list)
+    gaps: list[int] = field(default_factory=list)
+    base_cpi: float = 1.0
+    #: Memory-level parallelism: effective miss penalty divisor.  Streaming,
+    #: prefetch-friendly codes overlap several outstanding misses (>= 3);
+    #: dependent pointer chases see the full latency (~1).
+    mem_mlp: float = 1.0
+    #: Distinct-line LLC footprint the workload would have accumulated by
+    #: the time measurement starts at paper scale (10 B fast-forward +
+    #: 400 M measured instructions).  The simulator pre-fills this many
+    #: lines with stale valid data before the run, reproducing the warmed
+    #: cache state the refresh policies see in the paper.  0 disables.
+    footprint_lines: int = 0
+
+    def __post_init__(self) -> None:
+        if not (len(self.addrs) == len(self.writes) == len(self.gaps)):
+            raise ValueError("trace columns must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions represented (each record is 1 memory op + gap)."""
+        return sum(self.gaps) + len(self.gaps)
+
+    @property
+    def write_fraction(self) -> float:
+        return (sum(self.writes) / len(self.writes)) if self.writes else 0.0
+
+    def distinct_lines(self) -> int:
+        return len(set(self.addrs))
+
+    def records(self):
+        """Iterate ``(addr, is_write, gap)`` tuples."""
+        return zip(self.addrs, self.writes, self.gaps)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace as a compressed ``.npz`` file."""
+        np.savez_compressed(
+            str(path),
+            name=np.array(self.name),
+            addrs=np.asarray(self.addrs, dtype=np.int64),
+            writes=np.asarray(self.writes, dtype=bool),
+            gaps=np.asarray(self.gaps, dtype=np.int64),
+            base_cpi=np.array(self.base_cpi),
+            mem_mlp=np.array(self.mem_mlp),
+            footprint_lines=np.array(self.footprint_lines),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        with np.load(str(path)) as data:
+            return cls(
+                name=str(data["name"]),
+                addrs=data["addrs"].tolist(),
+                writes=data["writes"].tolist(),
+                gaps=data["gaps"].tolist(),
+                base_cpi=float(data["base_cpi"]),
+                mem_mlp=float(data["mem_mlp"]),
+                footprint_lines=int(data["footprint_lines"]),
+            )
+
+    def to_bytes(self) -> bytes:
+        buf = io.BytesIO()
+        np.savez_compressed(
+            buf,
+            name=np.array(self.name),
+            addrs=np.asarray(self.addrs, dtype=np.int64),
+            writes=np.asarray(self.writes, dtype=bool),
+            gaps=np.asarray(self.gaps, dtype=np.int64),
+            base_cpi=np.array(self.base_cpi),
+            mem_mlp=np.array(self.mem_mlp),
+            footprint_lines=np.array(self.footprint_lines),
+        )
+        return buf.getvalue()
+
+
+class TraceCursor:
+    """A wrapping iterator over a trace.
+
+    Implements the paper's dual-core methodology (Section 6.4): a benchmark
+    that exhausts its trace before its co-runner keeps executing (the trace
+    wraps around), but statistics for its speedup are recorded only for the
+    first pass.
+    """
+
+    __slots__ = ("trace", "index", "wraps")
+
+    def __init__(self, trace: Trace) -> None:
+        if len(trace) == 0:
+            raise ValueError("cannot iterate an empty trace")
+        self.trace = trace
+        self.index = 0
+        self.wraps = 0
+
+    @property
+    def first_pass_done(self) -> bool:
+        return self.wraps > 0
+
+    def next_record(self) -> tuple[int, bool, int]:
+        """Return the next ``(addr, is_write, gap)``, wrapping at the end."""
+        t = self.trace
+        i = self.index
+        rec = (t.addrs[i], t.writes[i], t.gaps[i])
+        i += 1
+        if i >= len(t.addrs):
+            i = 0
+            self.wraps += 1
+        self.index = i
+        return rec

@@ -1,0 +1,97 @@
+"""Unit tests for the per-set cold-path operations."""
+
+import pytest
+
+from repro.cache.block import LineState
+from repro.cache.cacheset import CacheSet
+
+
+@pytest.fixture
+def state() -> LineState:
+    return LineState(num_sets=4, associativity=4)
+
+
+@pytest.fixture
+def cset() -> CacheSet:
+    return CacheSet(index=1, associativity=4)
+
+
+class TestFind:
+    def test_find_absent(self, cset):
+        assert cset.find(42) == -1
+
+    def test_find_present(self, cset):
+        cset.tags[2] = 42
+        assert cset.find(42) == 2
+
+
+class TestVictim:
+    def test_prefers_invalid_way(self, cset):
+        cset.tags = [1, None, 3, 4]
+        assert cset.victim_way() == 1
+
+    def test_lru_when_full(self, cset):
+        cset.tags = [1, 2, 3, 4]
+        cset.order = [2, 0, 3, 1]
+        assert cset.victim_way() == 1
+
+    def test_respects_disabled_ways(self, cset):
+        cset.tags = [1, 2, None, None]
+        cset.n_active = 2
+        cset.order = [0, 1, 2, 3]
+        # Ways 2/3 are invalid but disabled; LRU among enabled is way 1.
+        assert cset.victim_way() == 1
+
+
+class TestFlush:
+    def test_flush_empty_way(self, cset, state):
+        tag, dirty = cset.flush_way(0, state)
+        assert tag is None and not dirty
+
+    def test_flush_clean_line(self, cset, state):
+        cset.tags[0] = 99
+        g = state.gidx(1, 0)
+        state.valid[g] = True
+        tag, dirty = cset.flush_way(0, state)
+        assert tag == 99 and not dirty
+        assert cset.tags[0] is None
+        assert not state.valid[g]
+
+    def test_flush_dirty_line_reports_dirty(self, cset, state):
+        cset.tags[3] = 7
+        g = state.gidx(1, 3)
+        state.valid[g] = True
+        state.dirty[g] = True
+        tag, dirty = cset.flush_way(3, state)
+        assert tag == 7 and dirty
+        assert not state.dirty[g]
+
+
+class TestInvariants:
+    def test_consistent_state_passes(self, cset, state):
+        cset.tags[0] = 5
+        state.valid[state.gidx(1, 0)] = True
+        cset.check_invariants(state)
+
+    def test_detects_valid_mirror_desync(self, cset, state):
+        cset.tags[0] = 5  # valid mirror not updated
+        with pytest.raises(AssertionError):
+            cset.check_invariants(state)
+
+    def test_detects_line_in_disabled_way(self, cset, state):
+        cset.tags[3] = 5
+        state.valid[state.gidx(1, 3)] = True
+        cset.n_active = 2
+        with pytest.raises(AssertionError):
+            cset.check_invariants(state)
+
+    def test_leader_may_hold_lines_in_all_ways(self, state):
+        leader = CacheSet(index=0, associativity=4, is_leader=True)
+        leader.n_active = 2  # even if shrunk, leaders keep lines anywhere
+        leader.tags[3] = 5
+        state.valid[state.gidx(0, 3)] = True
+        leader.check_invariants(state)
+
+    def test_resident_tags(self, cset):
+        cset.tags = [None, 4, None, 9]
+        assert sorted(cset.resident_tags()) == [4, 9]

@@ -1,0 +1,94 @@
+"""Unit tests for the two-level hierarchy."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.hierarchy import TwoLevelHierarchy
+from repro.config import CacheGeometry
+
+
+@pytest.fixture
+def l2() -> SetAssociativeCache:
+    geo = CacheGeometry(size_bytes=64 * 1024, associativity=8, latency_cycles=12)
+    return SetAssociativeCache(geo, name="L2")
+
+
+@pytest.fixture
+def hier(l2) -> TwoLevelHierarchy:
+    l1_geo = CacheGeometry(size_bytes=4 * 1024, associativity=4, latency_cycles=2)
+    return TwoLevelHierarchy(l1_geo, l2, core_id=0)
+
+
+class TestServiceLevels:
+    def test_cold_access_served_by_memory(self, hier):
+        res = hier.access(1000, False)
+        assert res.served_by == "MEM"
+        assert not res.l1_hit and res.l2_hit is False
+
+    def test_immediate_reuse_hits_l1(self, hier):
+        hier.access(1000, False)
+        res = hier.access(1000, False)
+        assert res.served_by == "L1"
+        assert res.l2_hit is None
+
+    def test_l1_capacity_eviction_falls_to_l2(self, hier):
+        # Fill one L1 set beyond capacity; L2 retains everything.
+        l1_sets = hier.l1.num_sets
+        addrs = [i * l1_sets for i in range(6)]  # same L1 set, 4 ways
+        for a in addrs:
+            hier.access(a, False)
+        res = hier.access(addrs[0], False)
+        assert res.served_by == "L2"
+
+    def test_dirty_l1_eviction_installs_into_l2_dirty(self, hier):
+        l1_sets = hier.l1.num_sets
+        victim = 0
+        hier.access(victim, True)  # dirty in L1
+        spill = [(i + 1) * l1_sets for i in range(4)]
+        results = [hier.access(a, False) for a in spill]
+        assert any(r.l1_writeback_to_l2 for r in results)
+        # The victim line must now be dirty in L2.
+        s = hier.l2.set_index(victim)
+        way = hier.l2.sets[s].find(victim)
+        assert way >= 0
+        assert hier.l2.state.dirty[hier.l2.state.gidx(s, way)]
+
+    def test_l2_dirty_eviction_surfaces_memory_writeback(self, hier):
+        l2 = hier.l2
+        s = 5
+        victim = l2.line_addr(s, 1)
+        hier.access(victim, True)
+        # L1 writeback installs dirty into L2 via pressure, then push 8 more
+        # tags through L2 set 5 to evict it.  Write directly to L2 to keep
+        # the test focused.
+        l2.access(victim, True)
+        wbs = []
+        for t in range(2, 11):
+            _, _, wb = l2.access(l2.line_addr(s, t), False)
+            if wb >= 0:
+                wbs.append(wb)
+        assert victim in wbs
+
+    def test_memory_writebacks_tuple_empty_on_l1_hit(self, hier):
+        hier.access(42, False)
+        res = hier.access(42, False)
+        assert res.memory_writebacks == ()
+
+
+class TestSharedL2:
+    def test_two_cores_share_l2(self, l2):
+        l1_geo = CacheGeometry(size_bytes=4 * 1024, associativity=4, latency_cycles=2)
+        h0 = TwoLevelHierarchy(l1_geo, l2, core_id=0)
+        h1 = TwoLevelHierarchy(l1_geo, l2, core_id=1)
+        h0.access(777, False)
+        # Core 1 misses its own L1 but hits the shared L2.
+        res = h1.access(777, False)
+        assert res.served_by == "L2"
+
+    def test_private_l1s_are_independent(self, l2):
+        l1_geo = CacheGeometry(size_bytes=4 * 1024, associativity=4, latency_cycles=2)
+        h0 = TwoLevelHierarchy(l1_geo, l2, core_id=0)
+        h1 = TwoLevelHierarchy(l1_geo, l2, core_id=1)
+        h0.access(777, False)
+        assert h0.l1.contains(777)
+        assert not h1.l1.contains(777)

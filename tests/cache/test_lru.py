@@ -1,0 +1,117 @@
+"""Unit + property tests for the standalone LRU recency stack."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cache.lru import LRUStack
+
+
+class TestBasics:
+    def test_initial_order_is_identity(self):
+        stack = LRUStack(4)
+        assert stack.order() == (0, 1, 2, 3)
+
+    def test_len(self):
+        assert len(LRUStack(7)) == 7
+
+    def test_custom_initial_order(self):
+        stack = LRUStack([2, 0, 1])
+        assert stack.order() == (2, 0, 1)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            LRUStack([0, 0, 1])
+
+    def test_touch_moves_to_front(self):
+        stack = LRUStack(4)
+        stack.touch(2)
+        assert stack.order() == (2, 0, 1, 3)
+
+    def test_touch_returns_previous_position(self):
+        stack = LRUStack(4)
+        assert stack.touch(3) == 3
+        assert stack.touch(3) == 0
+
+    def test_touch_mru_is_noop(self):
+        stack = LRUStack(4)
+        stack.touch(0)
+        assert stack.order() == (0, 1, 2, 3)
+
+    def test_position_of(self):
+        stack = LRUStack(4)
+        stack.touch(3)
+        assert stack.position_of(3) == 0
+        assert stack.position_of(0) == 1
+
+    def test_position_of_missing_raises(self):
+        with pytest.raises(ValueError):
+            LRUStack(2).position_of(5)
+
+    def test_lru_is_last(self):
+        stack = LRUStack(3)
+        stack.touch(2)
+        assert stack.lru() == 1
+
+    def test_lru_among_subset(self):
+        stack = LRUStack(4)  # order 0,1,2,3 -> LRU overall is 3
+        assert stack.lru_among({0, 1}) == 1
+        assert stack.lru_among({0}) == 0
+
+    def test_lru_among_empty_raises(self):
+        with pytest.raises(ValueError):
+            LRUStack(2).lru_among(set())
+
+    def test_iteration_matches_order(self):
+        stack = LRUStack(3)
+        stack.touch(1)
+        assert list(stack) == [1, 0, 2]
+
+
+class TestSequences:
+    def test_full_mru_rotation(self):
+        stack = LRUStack(4)
+        for way in [3, 2, 1, 0]:
+            stack.touch(way)
+        assert stack.order() == (0, 1, 2, 3)
+
+    def test_repeated_touches_keep_permutation(self):
+        stack = LRUStack(8)
+        for way in [5, 2, 5, 7, 0, 2, 2, 6, 1]:
+            stack.touch(way)
+        assert sorted(stack.order()) == list(range(8))
+
+    def test_untouched_way_sinks_to_lru(self):
+        stack = LRUStack(4)
+        for way in [1, 2, 3, 1, 2, 3]:
+            stack.touch(way)
+        assert stack.lru() == 0
+
+
+@given(
+    ways=st.integers(min_value=1, max_value=16),
+    touches=st.lists(st.integers(min_value=0, max_value=15), max_size=60),
+)
+def test_property_always_a_permutation(ways, touches):
+    stack = LRUStack(ways)
+    for t in touches:
+        stack.touch(t % ways)
+    assert sorted(stack.order()) == list(range(ways))
+
+
+@given(
+    ways=st.integers(min_value=2, max_value=16),
+    touches=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=60),
+)
+def test_property_last_touch_is_mru(ways, touches):
+    stack = LRUStack(ways)
+    for t in touches:
+        stack.touch(t % ways)
+    assert stack.position_of(touches[-1] % ways) == 0
+
+
+@given(ways=st.integers(min_value=1, max_value=16))
+def test_property_touch_position_matches_position_of(ways):
+    stack = LRUStack(ways)
+    for way in reversed(range(ways)):
+        expected = stack.position_of(way)
+        assert stack.touch(way) == expected

@@ -1,0 +1,76 @@
+"""Unit tests for the writeback buffer model."""
+
+import pytest
+
+from repro.cache.mshr import WritebackBuffer
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            WritebackBuffer(capacity=0)
+
+    def test_rejects_nonpositive_drain(self):
+        with pytest.raises(ValueError):
+            WritebackBuffer(drain_cycles=0)
+
+
+class TestOccupancy:
+    def test_initially_empty(self):
+        buf = WritebackBuffer(capacity=4, drain_cycles=10)
+        assert buf.occupancy_at(0) == 0.0
+
+    def test_one_push_occupies_until_drained(self):
+        buf = WritebackBuffer(capacity=4, drain_cycles=10)
+        buf.push(0)
+        assert buf.occupancy_at(0) == pytest.approx(1.0)
+        assert buf.occupancy_at(5) == pytest.approx(0.5)
+        assert buf.occupancy_at(10) == 0.0
+
+    def test_occupancy_never_negative(self):
+        buf = WritebackBuffer(capacity=4, drain_cycles=10)
+        buf.push(0)
+        assert buf.occupancy_at(1000) == 0.0
+
+
+class TestStalls:
+    def test_no_stall_below_capacity(self):
+        buf = WritebackBuffer(capacity=4, drain_cycles=10)
+        for _ in range(4):
+            assert buf.push(0) == 0.0
+        assert buf.full_stall_cycles == 0.0
+
+    def test_stall_when_full(self):
+        buf = WritebackBuffer(capacity=2, drain_cycles=10)
+        buf.push(0)
+        buf.push(0)
+        stall = buf.push(0)
+        assert stall == pytest.approx(10.0)
+        assert buf.full_stall_cycles == pytest.approx(10.0)
+
+    def test_drained_buffer_accepts_again(self):
+        buf = WritebackBuffer(capacity=1, drain_cycles=10)
+        buf.push(0)
+        assert buf.push(100) == 0.0
+
+    def test_push_counter(self):
+        buf = WritebackBuffer()
+        for i in range(5):
+            buf.push(i * 100)
+        assert buf.pushes == 5
+
+    def test_reset(self):
+        buf = WritebackBuffer(capacity=1, drain_cycles=10)
+        buf.push(0)
+        buf.push(0)
+        buf.reset()
+        assert buf.pushes == 0
+        assert buf.occupancy_at(0) == 0.0
+        assert buf.full_stall_cycles == 0.0
+
+    def test_backlog_grows_under_burst(self):
+        buf = WritebackBuffer(capacity=2, drain_cycles=10)
+        stalls = [buf.push(0) for _ in range(6)]
+        # Stalls must be non-decreasing during a same-cycle burst.
+        assert stalls == sorted(stalls)
+        assert stalls[-1] > stalls[2] > 0

@@ -1,0 +1,57 @@
+"""Shared fixtures: small geometries so unit tests run in milliseconds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CacheGeometry,
+    EsteemConfig,
+    MemoryConfig,
+    RefreshConfig,
+    SimConfig,
+)
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """64 sets x 4 ways x 64 B lines = 16 KB."""
+    return CacheGeometry(size_bytes=16 * 1024, associativity=4, latency_cycles=12)
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """128 sets x 8 ways = 64 KB."""
+    return CacheGeometry(size_bytes=64 * 1024, associativity=8, latency_cycles=12)
+
+
+@pytest.fixture
+def small_refresh() -> RefreshConfig:
+    """A short retention period so boundaries are hit quickly."""
+    return RefreshConfig(
+        retention_cycles=1_000, num_banks=4, lines_per_refresh_burst=16, rpv_phases=4
+    )
+
+
+@pytest.fixture
+def small_sim_config(small_geometry: CacheGeometry) -> SimConfig:
+    """A complete but very small simulated system for integration tests."""
+    return SimConfig(
+        num_cores=1,
+        l2=small_geometry,
+        refresh=RefreshConfig(
+            retention_cycles=2_000,
+            num_banks=4,
+            lines_per_refresh_burst=16,
+            rpv_phases=4,
+        ),
+        memory=MemoryConfig(latency_cycles=100, bandwidth_bytes_per_sec=10e9),
+        esteem=EsteemConfig(
+            alpha=0.95,
+            a_min=2,
+            num_modules=4,
+            sampling_ratio=8,
+            interval_cycles=10_000,
+        ),
+        instructions_per_core=50_000,
+    )

@@ -1,0 +1,131 @@
+"""Unit tests for Algorithm 1, including the paper's worked example."""
+
+import pytest
+
+from repro.core.algorithm import esteem_decide
+
+#: The example of Section 3.1: hits per LRU position for an 8-way cache.
+PAPER_HITS = [10816, 4645, 2140, 501, 217, 113, 63, 11]
+
+
+class TestPaperWorkedExample:
+    def test_alpha_097_keeps_4_ways(self):
+        d = esteem_decide([PAPER_HITS], a_min=2, alpha=0.97)
+        assert d.n_active_way == (4,)
+
+    def test_alpha_095_keeps_3_ways(self):
+        d = esteem_decide([PAPER_HITS], a_min=2, alpha=0.95)
+        assert d.n_active_way == (3,)
+
+    def test_total_hits_reported(self):
+        d = esteem_decide([PAPER_HITS], a_min=2, alpha=0.97)
+        assert d.module_hits == (18506,)
+
+    def test_example_is_lru_friendly(self):
+        d = esteem_decide([PAPER_HITS], a_min=2, alpha=0.97)
+        assert d.non_lru == (False,)
+
+
+class TestAMinFloor:
+    def test_a_min_floor_applies(self):
+        hits = [1000, 0, 0, 0, 0, 0, 0, 0]  # pure MRU: 1 way covers all
+        d = esteem_decide([hits], a_min=3, alpha=0.97)
+        assert d.n_active_way == (3,)
+
+    def test_zero_hits_defaults_to_a_min(self):
+        d = esteem_decide([[0] * 8], a_min=3, alpha=0.97)
+        assert d.n_active_way == (3,)
+        assert d.non_lru == (False,)
+
+    def test_alpha_one_keeps_ways_covering_all_hits(self):
+        hits = [10, 10, 10, 10, 0, 0, 0, 0]
+        d = esteem_decide([hits], a_min=2, alpha=1.0)
+        assert d.n_active_way == (4,)
+
+    def test_all_hits_at_lru_position(self):
+        hits = [0, 0, 0, 0, 0, 0, 0, 500]
+        d = esteem_decide([hits], a_min=2, alpha=0.97)
+        # Needs every way to cover the deep hits... but a rising histogram
+        # is also non-LRU (1 anomaly of the needed 2 for A=8).
+        assert d.n_active_way == (8,)
+
+
+class TestNonLRUGuard:
+    def test_bumpy_histogram_flagged(self):
+        hits = [5, 9, 3, 8, 2, 7, 1, 6]  # 3 rising pairs >= 8/4
+        d = esteem_decide([hits], a_min=2, alpha=0.97)
+        assert d.non_lru == (True,)
+
+    def test_non_lru_keeps_at_least_a_minus_1(self):
+        hits = [5, 9, 3, 8, 2, 7, 1, 6]
+        d = esteem_decide([hits], a_min=2, alpha=0.5)
+        assert d.n_active_way[0] >= 7
+
+    def test_threshold_is_a_over_4(self):
+        # Exactly 2 anomalies with A=8 triggers (2 >= 8/4).
+        hits = [10, 20, 5, 15, 4, 3, 2, 1]
+        d = esteem_decide([hits], a_min=2, alpha=0.97)
+        assert d.non_lru == (True,)
+        # 1 anomaly does not.
+        hits = [10, 20, 5, 4, 3, 2, 1, 0]
+        d = esteem_decide([hits], a_min=2, alpha=0.97)
+        assert d.non_lru == (False,)
+
+    def test_guard_disabled(self):
+        hits = [5, 9, 3, 8, 2, 7, 1, 6]
+        d = esteem_decide([hits], a_min=2, alpha=0.5, nonlru_guard=False)
+        assert d.non_lru == (False,)
+        assert d.n_active_way[0] < 7
+
+    def test_line22_max_of_coverage_and_a_minus_1(self):
+        # Paper line 22: nActiveWay = MAX(A-1, i+1).  If coverage needs all
+        # A ways, a non-LRU module keeps all A, not A-1.
+        hits = [1, 2, 1, 2, 1, 2, 1, 100]
+        d = esteem_decide([hits], a_min=2, alpha=0.99)
+        assert d.non_lru == (True,)
+        assert d.n_active_way == (8,)
+
+
+class TestMultiModule:
+    def test_independent_decisions_per_module(self):
+        mods = [
+            [1000, 0, 0, 0],   # 1 way suffices -> a_min
+            [10, 10, 10, 10],  # needs all 4 at alpha close to 1
+        ]
+        d = esteem_decide(mods, a_min=1, alpha=0.99)
+        assert d.n_active_way == (1, 4)
+
+    def test_module_count_preserved(self):
+        d = esteem_decide([[1, 0], [0, 1], [2, 2]], a_min=1, alpha=0.9)
+        assert len(d.n_active_way) == 3
+        assert len(d.non_lru) == 3
+
+
+class TestValidation:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            esteem_decide([], a_min=1, alpha=0.9)
+
+    def test_ragged_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2, 3], [1, 2]], a_min=1, alpha=0.9)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            esteem_decide([[1, -2, 3]], a_min=1, alpha=0.9)
+
+    def test_alpha_out_of_range(self):
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2]], a_min=1, alpha=0.0)
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2]], a_min=1, alpha=1.5)
+
+    def test_a_min_out_of_range(self):
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2]], a_min=0, alpha=0.9)
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2]], a_min=3, alpha=0.9)
+
+    def test_explicit_associativity_checked(self):
+        with pytest.raises(ValueError):
+            esteem_decide([[1, 2, 3]], a_min=1, alpha=0.9, associativity=4)

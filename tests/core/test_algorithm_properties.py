@@ -1,0 +1,78 @@
+"""Property-based tests for Algorithm 1."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.algorithm import esteem_decide
+
+histograms = st.lists(
+    st.lists(st.integers(min_value=0, max_value=10_000), min_size=8, max_size=8),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(hist=histograms, a_min=st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_decision_within_bounds(hist, a_min):
+    d = esteem_decide(hist, a_min=a_min, alpha=0.97)
+    for ways, flagged in zip(d.n_active_way, d.non_lru):
+        # Line 22 of Algorithm 1 *overwrites* the A_min floor with
+        # MAX(A-1, i+1) for a non-LRU module, so a degenerate a_min = A
+        # can be undercut by one way there (the paper only uses 2..4).
+        floor = min(a_min, 7) if flagged else a_min
+        assert floor <= ways <= 8
+
+
+@given(hist=histograms)
+@settings(max_examples=100, deadline=None)
+def test_nonlru_modules_keep_at_least_a_minus_1(hist):
+    d = esteem_decide(hist, a_min=1, alpha=0.5)
+    for ways, flagged in zip(d.n_active_way, d.non_lru):
+        if flagged:
+            assert ways >= 7
+
+
+@given(hist=histograms, a_min=st.integers(min_value=1, max_value=4))
+@settings(max_examples=100, deadline=None)
+def test_alpha_monotonicity(hist, a_min):
+    """A higher coverage threshold never keeps fewer ways on."""
+    low = esteem_decide(hist, a_min=a_min, alpha=0.90)
+    high = esteem_decide(hist, a_min=a_min, alpha=0.99)
+    for lo, hi in zip(low.n_active_way, high.n_active_way):
+        assert hi >= lo
+
+
+@given(hist=histograms)
+@settings(max_examples=100, deadline=None)
+def test_chosen_prefix_covers_alpha_fraction(hist):
+    alpha = 0.95
+    d = esteem_decide(hist, a_min=1, alpha=alpha, nonlru_guard=False)
+    for hits, ways in zip(hist, d.n_active_way):
+        total = sum(hits)
+        covered = sum(hits[:ways])
+        assert covered >= alpha * total
+
+
+@given(hist=histograms)
+@settings(max_examples=100, deadline=None)
+def test_chosen_prefix_is_minimal(hist):
+    """One fewer way (above a_min) would fall below the alpha coverage."""
+    alpha = 0.95
+    d = esteem_decide(hist, a_min=1, alpha=alpha, nonlru_guard=False)
+    for hits, ways in zip(hist, d.n_active_way):
+        total = sum(hits)
+        if ways > 1:
+            assert sum(hits[: ways - 1]) < alpha * total
+
+
+@given(
+    hist=histograms,
+    scale=st.integers(min_value=2, max_value=50),
+)
+@settings(max_examples=100, deadline=None)
+def test_scale_invariance(hist, scale):
+    """Multiplying every count by a constant changes nothing."""
+    d1 = esteem_decide(hist, a_min=2, alpha=0.97)
+    d2 = esteem_decide([[h * scale for h in row] for row in hist], a_min=2, alpha=0.97)
+    assert d1.n_active_way == d2.n_active_way
+    assert d1.non_lru == d2.non_lru

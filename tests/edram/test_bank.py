@@ -1,0 +1,76 @@
+"""Unit tests for the banked refresh scheduler / stall model."""
+
+import pytest
+
+from repro.edram.bank import BankedRefreshScheduler
+
+
+@pytest.fixture
+def sched() -> BankedRefreshScheduler:
+    return BankedRefreshScheduler(num_banks=4, burst_lines=64)
+
+
+class TestConstruction:
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            BankedRefreshScheduler(num_banks=0)
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ValueError):
+            BankedRefreshScheduler(burst_lines=0)
+
+
+class TestBusyFraction:
+    def test_even_split_across_banks(self, sched):
+        assert sched.lines_per_bank(400) == 100.0
+
+    def test_busy_fraction(self, sched):
+        # 16384 lines/bank over a 100k window -> 16.4% occupancy.
+        assert sched.busy_fraction(65536, 100_000) == pytest.approx(0.16384)
+
+    def test_busy_fraction_capped(self, sched):
+        assert sched.busy_fraction(10**9, 100_000) == pytest.approx(0.98)
+
+    def test_rejects_zero_window(self, sched):
+        with pytest.raises(ValueError):
+            sched.busy_fraction(10, 0)
+
+
+class TestExpectedStall:
+    def test_zero_lines_zero_stall(self, sched):
+        assert sched.expected_stall(0, 100_000) == 0.0
+
+    def test_monotonic_in_refresh_traffic(self, sched):
+        window = 100_000
+        stalls = [sched.expected_stall(n, window) for n in
+                  (1_000, 10_000, 50_000, 100_000, 200_000)]
+        assert stalls == sorted(stalls)
+        assert stalls[0] >= 0
+
+    def test_monotonic_in_window_shrink(self, sched):
+        lines = 65536
+        wide = sched.expected_stall(lines, 125_000)  # 50us-like
+        narrow = sched.expected_stall(lines, 100_000)  # 40us-like
+        assert narrow > wide
+
+    def test_blows_up_near_saturation(self, sched):
+        # The 16MB dual-core case: bank occupancy ~0.65 -> large stall.
+        low = sched.expected_stall(65536, 100_000)
+        high = sched.expected_stall(262144, 100_000)
+        assert high > 5 * low
+
+    def test_small_refresh_count_uses_actual_burst(self, sched):
+        # Fewer lines per bank than the burst length: the burst is shorter.
+        stall = sched.expected_stall(4, 100_000)  # 1 line/bank
+        assert stall < sched.expected_stall(4 * 64, 100_000)
+
+    def test_closed_form_mid_range(self):
+        sched = BankedRefreshScheduler(num_banks=4, burst_lines=64)
+        # rho = (65536/4)/100000 = 0.16384; stall = rho/(1-rho) * 32
+        expected = 0.16384 / (1 - 0.16384) * 32
+        assert sched.expected_stall(65536, 100_000) == pytest.approx(expected)
+
+
+class TestBusyCycles:
+    def test_refresh_busy_cycles(self, sched):
+        assert sched.refresh_busy_cycles(65536) == pytest.approx(16384.0)

@@ -1,0 +1,95 @@
+"""Unit tests for the cache-decay refresh policy."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheGeometry, RefreshConfig
+from repro.edram.decay import CacheDecayRefresh
+
+
+@pytest.fixture
+def cache() -> SetAssociativeCache:
+    geo = CacheGeometry(size_bytes=16 * 64 * 4, associativity=4, latency_cycles=1)
+    return SetAssociativeCache(geo)
+
+
+@pytest.fixture
+def cfg() -> RefreshConfig:
+    return RefreshConfig(
+        retention_cycles=1_000, num_banks=4, lines_per_refresh_burst=16, rpv_phases=4
+    )
+
+
+@pytest.fixture
+def engine(cache, cfg) -> CacheDecayRefresh:
+    # Decay after 8 windows (= 2 retention periods).
+    return CacheDecayRefresh(cache.state, cfg, cache, decay_windows=8)
+
+
+class TestLiveLines:
+    def test_recent_line_refreshed_not_decayed(self, cache, engine):
+        addr = cache.line_addr(2, 5)
+        cache.access(addr, False, window=0)
+        engine.advance_to(1_000)  # window 4: due, but only 4 windows idle
+        assert engine.total_refreshes == 1
+        assert engine.decayed == 0
+        assert cache.contains(addr)
+
+    def test_refresh_does_not_reset_idle_clock(self, cache, engine):
+        """The crucial difference from RPV: refreshes keep data alive but
+        do not count as use, so an idle line still expires on schedule."""
+        addr = cache.line_addr(2, 5)
+        cache.access(addr, False, window=0)
+        engine.advance_to(250 * 7)  # refreshed at window 4; idle since 0
+        assert cache.contains(addr)
+        engine.advance_to(250 * 8)  # 8 windows idle -> decays
+        assert not cache.contains(addr)
+        assert engine.decayed == 1
+
+    def test_touching_resets_idle_clock(self, cache, engine):
+        addr = cache.line_addr(2, 5)
+        cache.access(addr, False, window=0)
+        engine.advance_to(250 * 6)
+        cache.access(addr, False, window=6)  # reuse: clock restarts
+        engine.advance_to(250 * 13)  # 6+8 = window 14 would be expiry
+        assert cache.contains(addr)
+        engine.advance_to(250 * 14)
+        assert not cache.contains(addr)
+
+
+class TestDirtyDecay:
+    def test_dirty_decay_generates_writeback(self, cache, engine):
+        addr = cache.line_addr(2, 5)
+        cache.access(addr, True, window=0)
+        engine.advance_to(250 * 8)
+        assert engine.decayed == 1
+        assert engine.decay_writebacks == 1
+        assert engine.take_writeback_delta() == 1
+        assert engine.take_writeback_delta() == 0
+
+    def test_clean_decay_free(self, cache, engine):
+        cache.access(cache.line_addr(2, 5), False, window=0)
+        engine.advance_to(250 * 8)
+        assert engine.decay_writebacks == 0
+
+
+class TestValidation:
+    def test_threshold_floor(self, cache, cfg):
+        with pytest.raises(ValueError):
+            CacheDecayRefresh(cache.state, cfg, cache, decay_windows=2)
+
+    def test_state_must_match_cache(self, cache, cfg):
+        other = SetAssociativeCache(cache.geometry)
+        with pytest.raises(ValueError):
+            CacheDecayRefresh(other.state, cfg, cache)
+
+    def test_default_threshold(self, cache, cfg):
+        eng = CacheDecayRefresh(cache.state, cfg, cache)
+        assert eng.decay_windows == 32  # 8 retention periods
+
+    def test_invariants_after_decay(self, cache, engine):
+        for s in range(8):
+            cache.access(cache.line_addr(s, 1), s % 2 == 0, window=0)
+        engine.advance_to(10_000)
+        cache.check_invariants()
+        assert cache.state.valid_count() == 0  # everything idle decayed

@@ -1,0 +1,126 @@
+"""Unit tests for the periodic refresh engines."""
+
+import pytest
+
+from repro.cache.block import LineState
+from repro.config import RefreshConfig
+from repro.edram.refresh import (
+    EsteemValidActiveRefresh,
+    NoRefresh,
+    PeriodicAllRefresh,
+    PeriodicValidRefresh,
+)
+
+
+@pytest.fixture
+def state() -> LineState:
+    return LineState(num_sets=16, associativity=4)  # 64 lines
+
+
+@pytest.fixture
+def cfg() -> RefreshConfig:
+    return RefreshConfig(
+        retention_cycles=1_000, num_banks=4, lines_per_refresh_burst=16, rpv_phases=4
+    )
+
+
+class TestPeriodicAll:
+    def test_refreshes_every_line_each_period(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        eng.advance_to(10_000)
+        assert eng.total_refreshes == 64 * 10
+        assert eng.boundaries == 10
+
+    def test_counts_invalid_lines_too(self, state, cfg):
+        assert state.valid_count() == 0
+        eng = PeriodicAllRefresh(state, cfg)
+        eng.advance_to(1_000)
+        assert eng.total_refreshes == 64
+
+    def test_no_boundary_before_first_period(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        eng.advance_to(999)
+        assert eng.total_refreshes == 0
+
+    def test_advance_is_idempotent(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        eng.advance_to(5_000)
+        count = eng.total_refreshes
+        eng.advance_to(5_000)
+        eng.advance_to(4_000)  # going backwards is a no-op too
+        assert eng.total_refreshes == count
+
+    def test_delta_extraction(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        eng.advance_to(2_000)
+        assert eng.take_refresh_delta() == 128
+        eng.advance_to(3_000)
+        assert eng.take_refresh_delta() == 64
+        assert eng.take_refresh_delta() == 0
+
+    def test_stall_positive_after_first_boundary(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        assert eng.access_stall() == 0.0  # cold start
+        eng.advance_to(1_000)
+        assert eng.access_stall() > 0.0
+
+
+class TestPeriodicValid:
+    def test_only_valid_lines(self, state, cfg):
+        state.valid[:10] = True
+        eng = PeriodicValidRefresh(state, cfg)
+        eng.advance_to(3_000)
+        assert eng.total_refreshes == 30
+
+    def test_tracks_validity_changes(self, state, cfg):
+        eng = PeriodicValidRefresh(state, cfg)
+        eng.advance_to(1_000)
+        assert eng.total_refreshes == 0
+        state.valid[:20] = True
+        eng.advance_to(2_000)
+        assert eng.total_refreshes == 20
+
+    def test_never_exceeds_periodic_all(self, state, cfg):
+        state.valid[: 32] = True
+        valid_eng = PeriodicValidRefresh(state, cfg)
+        all_eng = PeriodicAllRefresh(state, cfg)
+        valid_eng.advance_to(7_500)
+        all_eng.advance_to(7_500)
+        assert valid_eng.total_refreshes <= all_eng.total_refreshes
+
+
+class TestEsteemValidActive:
+    def test_counts_valid_and_active_only(self, state, cfg):
+        state.valid[:16] = True
+        state.active[:8] = False
+        eng = EsteemValidActiveRefresh(state, cfg)
+        eng.advance_to(1_000)
+        assert eng.total_refreshes == 8
+
+    def test_gating_mid_run_reduces_refreshes(self, state, cfg):
+        state.valid[:] = True
+        eng = EsteemValidActiveRefresh(state, cfg)
+        eng.advance_to(1_000)
+        assert eng.take_refresh_delta() == 64
+        state.active[:] = False
+        state.active[:16] = True
+        eng.advance_to(2_000)
+        assert eng.take_refresh_delta() == 16
+
+
+class TestNoRefresh:
+    def test_never_refreshes(self, state, cfg):
+        state.valid[:] = True
+        eng = NoRefresh(state, cfg)
+        eng.advance_to(100_000)
+        assert eng.total_refreshes == 0
+        assert eng.access_stall() == 0.0
+
+
+class TestWindowIndex:
+    def test_window_index_uses_phase_cycles(self, state, cfg):
+        eng = PeriodicAllRefresh(state, cfg)
+        assert eng.window_index(0) == 0
+        assert eng.window_index(249) == 0
+        assert eng.window_index(250) == 1
+        assert eng.window_index(1_000) == 4

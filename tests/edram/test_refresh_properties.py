@@ -1,0 +1,110 @@
+"""Property-based tests for the refresh engines."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.block import LineState
+from repro.config import RefreshConfig
+from repro.edram.refresh import (
+    EsteemValidActiveRefresh,
+    PeriodicAllRefresh,
+    PeriodicValidRefresh,
+)
+from repro.edram.rpv import RefrintPolyphaseValid
+
+
+def make_state(valid_bits: list[bool]) -> LineState:
+    n = 64
+    state = LineState(num_sets=16, associativity=4)
+    for i, v in enumerate(valid_bits[:n]):
+        state.valid[i] = v
+    return state
+
+
+CFG = RefreshConfig(
+    retention_cycles=1_000, num_banks=4, lines_per_refresh_burst=16, rpv_phases=4
+)
+
+valid_lists = st.lists(st.booleans(), min_size=64, max_size=64)
+
+
+@given(valid=valid_lists, horizon=st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=60, deadline=None)
+def test_engine_ordering_invariant(valid, horizon):
+    """no-refresh <= esteem <= periodic-valid <= periodic-all, always."""
+    state = make_state(valid)
+    state.active[: 32] = False
+    state.last_window[:] = 0
+    engines = [
+        EsteemValidActiveRefresh(state, CFG),
+        PeriodicValidRefresh(state, CFG),
+        PeriodicAllRefresh(state, CFG),
+    ]
+    for eng in engines:
+        eng.advance_to(horizon)
+    esteem, pv, pa = (e.total_refreshes for e in engines)
+    assert 0 <= esteem <= pv <= pa
+
+
+@given(valid=valid_lists, horizon=st.integers(min_value=0, max_value=20_000))
+@settings(max_examples=60, deadline=None)
+def test_rpv_bounded_by_periodic_all(valid, horizon):
+    state = make_state(valid)
+    state.last_window[:] = 0
+    rpv = RefrintPolyphaseValid(state, CFG)
+    pa = PeriodicAllRefresh(state, CFG)
+    rpv.advance_to(horizon)
+    pa.advance_to(horizon)
+    assert rpv.total_refreshes <= pa.total_refreshes
+
+
+@given(
+    valid=valid_lists,
+    steps=st.lists(st.integers(min_value=1, max_value=5_000), max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_incremental_equals_single_advance(valid, steps):
+    """Advancing in arbitrary increments matches one big advance."""
+    state = make_state(valid)
+    state.last_window[:] = 0
+    horizon = sum(steps)
+
+    inc = PeriodicValidRefresh(state, CFG)
+    t = 0
+    for s in steps:
+        t += s
+        inc.advance_to(t)
+
+    one = PeriodicValidRefresh(state, CFG)
+    one.advance_to(horizon)
+    assert inc.total_refreshes == one.total_refreshes
+    assert inc.boundaries == one.boundaries
+
+
+@given(
+    stamps=st.lists(st.integers(min_value=-3, max_value=0), min_size=64, max_size=64),
+    horizon=st.integers(min_value=4_000, max_value=20_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_rpv_steady_state_rate_is_one_per_retention(stamps, horizon):
+    """Idle valid lines settle to exactly one refresh per retention period."""
+    state = LineState(num_sets=16, associativity=4)
+    state.valid[:] = True
+    state.last_window[:] = np.array(stamps, dtype=np.int64)
+    eng = RefrintPolyphaseValid(state, CFG)
+    eng.advance_to(horizon)
+    start = eng.total_refreshes
+    eng.advance_to(horizon + 10_000)  # ten more retention periods
+    assert eng.total_refreshes - start == 64 * 10
+
+
+@given(delta=st.integers(min_value=0, max_value=30_000))
+@settings(max_examples=40, deadline=None)
+def test_refresh_delta_accounting_conserves_total(delta):
+    state = make_state([True] * 64)
+    eng = PeriodicValidRefresh(state, CFG)
+    eng.advance_to(delta)
+    d1 = eng.take_refresh_delta()
+    eng.advance_to(delta + 7_777)
+    d2 = eng.take_refresh_delta()
+    assert d1 + d2 == eng.total_refreshes

@@ -1,0 +1,66 @@
+"""Unit tests for the CACTI-lite interpolation model."""
+
+import pytest
+
+from repro.energy.cacti import CactiLite
+from repro.energy.params import EDRAM_ENERGY_TABLE
+
+MB = 1024 * 1024
+
+
+@pytest.fixture
+def model() -> CactiLite:
+    return CactiLite.from_table()
+
+
+class TestCalibration:
+    def test_reproduces_table_points_exactly(self, model):
+        for size, (dyn, leak) in EDRAM_ENERGY_TABLE.items():
+            assert model.dynamic_energy_j(size) == pytest.approx(dyn, rel=1e-9)
+            assert model.leakage_power_w(size) == pytest.approx(leak, rel=1e-9)
+
+    def test_interpolation_between_points(self, model):
+        dyn = model.dynamic_energy_j(6 * MB)
+        assert 0.212e-9 < dyn < 0.282e-9
+
+    def test_extrapolation_above(self, model):
+        assert model.leakage_power_w(64 * MB) > 1.056
+
+    def test_extrapolation_below(self, model):
+        assert model.dynamic_energy_j(1 * MB) < 0.186e-9
+        assert model.dynamic_energy_j(1 * MB) > 0
+
+    def test_monotone_over_wide_range(self, model):
+        sizes = [MB // 2, MB, 3 * MB, 6 * MB, 12 * MB, 24 * MB, 48 * MB]
+        dyns = [model.dynamic_energy_j(s) for s in sizes]
+        leaks = [model.leakage_power_w(s) for s in sizes]
+        assert dyns == sorted(dyns)
+        assert leaks == sorted(leaks)
+
+
+class TestScalingShape:
+    def test_leakage_grows_faster_than_dynamic(self, model):
+        dyn_exp, leak_exp = model.scaling_exponents()
+        assert 0 < dyn_exp < leak_exp < 1.2
+
+    def test_dynamic_is_sublinear(self, model):
+        ratio = model.dynamic_energy_j(32 * MB) / model.dynamic_energy_j(2 * MB)
+        assert ratio < 16  # much less than linear in capacity
+
+
+class TestValidation:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            CactiLite(sizes=(MB,), dyn_j=(1e-9,), leak_w=(0.1,))
+
+    def test_needs_sorted_sizes(self):
+        with pytest.raises(ValueError):
+            CactiLite(sizes=(2 * MB, MB), dyn_j=(1e-9, 2e-9), leak_w=(0.1, 0.2))
+
+    def test_needs_aligned_columns(self):
+        with pytest.raises(ValueError):
+            CactiLite(sizes=(MB, 2 * MB), dyn_j=(1e-9,), leak_w=(0.1, 0.2))
+
+    def test_rejects_nonpositive_size_query(self, model):
+        with pytest.raises(ValueError):
+            model.dynamic_energy_j(0)

@@ -1,0 +1,157 @@
+"""Unit tests for the energy equations (2)-(8) and Eq. (1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy.model import (
+    EnergyAccumulator,
+    EnergyBreakdown,
+    IntervalEnergyInputs,
+    counter_overhead_percent,
+)
+from repro.energy.params import EnergyParams
+
+PARAMS = EnergyParams(
+    l2_dynamic_j=0.212e-9,
+    l2_leakage_w=0.116,
+    mem_dynamic_j=70e-9,
+    mem_leakage_w=0.18,
+    transition_j=2e-12,
+)
+
+
+def make_inputs(**overrides) -> IntervalEnergyInputs:
+    base = dict(
+        seconds=1e-3,
+        l2_hits=1_000,
+        l2_misses=100,
+        refreshes=5_000,
+        mem_accesses=150,
+        active_fraction=0.5,
+        transitions=200,
+    )
+    base.update(overrides)
+    return IntervalEnergyInputs(**base)
+
+
+class TestEquations:
+    def test_eq4_leakage_scales_with_active_fraction(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.l2_leakage_j == pytest.approx(0.116 * 0.5 * 1e-3)
+
+    def test_eq5_miss_costs_double(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.l2_dynamic_j == pytest.approx(0.212e-9 * (2 * 100 + 1_000))
+
+    def test_eq6_refresh_costs_one_access_each(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.l2_refresh_j == pytest.approx(0.212e-9 * 5_000)
+
+    def test_eq7_memory(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.mem_leakage_j == pytest.approx(0.18 * 1e-3)
+        assert d.mem_dynamic_j == pytest.approx(70e-9 * 150)
+
+    def test_eq8_algorithm_cost(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.algo_j == pytest.approx(2e-12 * 200)
+
+    def test_eq2_eq3_totals(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs())
+        assert d.l2_total_j == pytest.approx(
+            d.l2_leakage_j + d.l2_dynamic_j + d.l2_refresh_j
+        )
+        assert d.total_j == pytest.approx(d.l2_total_j + d.mem_total_j + d.algo_j)
+
+    def test_baseline_convention_fa1_no_algo(self):
+        acc = EnergyAccumulator(PARAMS)
+        d = acc.add_interval(make_inputs(active_fraction=1.0, transitions=0))
+        assert d.l2_leakage_j == pytest.approx(0.116 * 1e-3)
+        assert d.algo_j == 0.0
+
+
+class TestAccumulation:
+    def test_totals_are_sums_of_intervals(self):
+        acc = EnergyAccumulator(PARAMS)
+        d1 = acc.add_interval(make_inputs())
+        d2 = acc.add_interval(make_inputs(l2_hits=5_000))
+        assert acc.intervals == 2
+        assert acc.totals.total_j == pytest.approx(d1.total_j + d2.total_j)
+
+    def test_as_dict_contains_derived_totals(self):
+        b = EnergyBreakdown(l2_leakage_j=1.0, mem_dynamic_j=2.0)
+        d = b.as_dict()
+        assert d["l2_total_j"] == 1.0
+        assert d["mem_total_j"] == 2.0
+        assert d["total_j"] == 3.0
+
+
+class TestValidation:
+    def test_negative_counters_rejected(self):
+        with pytest.raises(ValueError):
+            make_inputs(l2_hits=-1)
+
+    def test_bad_active_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            make_inputs(active_fraction=1.5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            make_inputs(seconds=-0.1)
+
+
+class TestEq1Overhead:
+    def test_paper_value_4mb_16way_16modules(self):
+        # Section 5: "the overhead of ESTEEM is found to be 0.06%".
+        pct = counter_overhead_percent(num_sets=4096, associativity=16, num_modules=16)
+        assert pct == pytest.approx(0.0584, abs=0.001)
+
+    def test_below_paper_bound(self):
+        # Abstract: "less than 0.1% of the L2 cache size".
+        for modules in (2, 4, 8, 16):
+            assert counter_overhead_percent(4096, 16, modules) < 0.1
+
+    def test_scales_linearly_with_modules(self):
+        a = counter_overhead_percent(4096, 16, 8)
+        b = counter_overhead_percent(4096, 16, 16)
+        assert b == pytest.approx(2 * a)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            counter_overhead_percent(0, 16, 16)
+
+
+@given(
+    hits=st.integers(min_value=0, max_value=10**7),
+    misses=st.integers(min_value=0, max_value=10**6),
+    refreshes=st.integers(min_value=0, max_value=10**7),
+    mem=st.integers(min_value=0, max_value=10**6),
+    fa=st.floats(min_value=0.0, max_value=1.0),
+    seconds=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_energy_nonnegative_and_additive(hits, misses, refreshes, mem, fa, seconds):
+    acc = EnergyAccumulator(PARAMS)
+    d = acc.add_interval(
+        IntervalEnergyInputs(
+            seconds=seconds,
+            l2_hits=hits,
+            l2_misses=misses,
+            refreshes=refreshes,
+            mem_accesses=mem,
+            active_fraction=fa,
+            transitions=0,
+        )
+    )
+    parts = [
+        d.l2_leakage_j, d.l2_dynamic_j, d.l2_refresh_j,
+        d.mem_leakage_j, d.mem_dynamic_j, d.algo_j,
+    ]
+    assert all(p >= 0 for p in parts)
+    assert d.total_j == pytest.approx(sum(parts))

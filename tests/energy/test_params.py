@@ -1,0 +1,68 @@
+"""Unit tests for the Table 2 energy constants."""
+
+import pytest
+
+from repro.energy.params import (
+    EDRAM_ENERGY_TABLE,
+    EnergyParams,
+    MEMORY_DYNAMIC_ENERGY_J,
+    MEMORY_LEAKAGE_W,
+    TRANSITION_ENERGY_J,
+)
+
+MB = 1024 * 1024
+
+
+class TestTable2:
+    def test_all_five_sizes_present(self):
+        assert sorted(EDRAM_ENERGY_TABLE) == [2 * MB, 4 * MB, 8 * MB, 16 * MB, 32 * MB]
+
+    @pytest.mark.parametrize(
+        "mb,dyn_nj,leak_w",
+        [(2, 0.186, 0.096), (4, 0.212, 0.116), (8, 0.282, 0.280),
+         (16, 0.370, 0.456), (32, 0.467, 1.056)],
+    )
+    def test_exact_paper_values(self, mb, dyn_nj, leak_w):
+        dyn, leak = EDRAM_ENERGY_TABLE[mb * MB]
+        assert dyn == pytest.approx(dyn_nj * 1e-9)
+        assert leak == pytest.approx(leak_w)
+
+    def test_monotone_in_size(self):
+        sizes = sorted(EDRAM_ENERGY_TABLE)
+        dyns = [EDRAM_ENERGY_TABLE[s][0] for s in sizes]
+        leaks = [EDRAM_ENERGY_TABLE[s][1] for s in sizes]
+        assert dyns == sorted(dyns)
+        assert leaks == sorted(leaks)
+
+    def test_memory_constants(self):
+        assert MEMORY_DYNAMIC_ENERGY_J == pytest.approx(70e-9)
+        assert MEMORY_LEAKAGE_W == pytest.approx(0.18)
+        assert TRANSITION_ENERGY_J == pytest.approx(2e-12)
+
+
+class TestEnergyParams:
+    def test_table_size_exact(self):
+        p = EnergyParams.for_cache_size(4 * MB)
+        assert p.l2_dynamic_j == pytest.approx(0.212e-9)
+        assert p.l2_leakage_w == pytest.approx(0.116)
+
+    def test_off_table_size_interpolates(self):
+        p = EnergyParams.for_cache_size(6 * MB)
+        assert 0.212e-9 < p.l2_dynamic_j < 0.282e-9
+        assert 0.116 < p.l2_leakage_w < 0.280
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyParams(l2_dynamic_j=-1.0, l2_leakage_w=0.1)
+
+
+class TestPaperSanityAnchor:
+    def test_refresh_is_about_70_percent_of_edram_energy(self):
+        """Agrawal et al.'s 70%-refresh observation falls out of Table 2:
+        4 MB at 50 us retention -> refresh power 0.278 W vs 0.116 W leakage.
+        """
+        p = EnergyParams.for_cache_size(4 * MB)
+        lines = 4 * MB // 64
+        refresh_w = lines / 50e-6 * p.l2_dynamic_j
+        frac = refresh_w / (refresh_w + p.l2_leakage_w)
+        assert 0.65 < frac < 0.75

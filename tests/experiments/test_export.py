@@ -1,0 +1,52 @@
+"""Tests for the CSV exporter."""
+
+import csv
+import io
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.export import (
+    COMPARISON_FIELDS,
+    comparisons_to_csv,
+    write_comparisons_csv,
+)
+from repro.experiments.runner import Runner
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    runner = Runner(SimConfig.scaled(instructions_per_core=300_000))
+    return runner.compare_many(["gamess", "povray"], "esteem")
+
+
+class TestCsv:
+    def test_header_and_rows(self, comparisons):
+        text = comparisons_to_csv(comparisons)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert set(rows[0]) == set(COMPARISON_FIELDS)
+        assert rows[0]["workload"] == "gamess"
+        assert rows[0]["technique"] == "esteem"
+
+    def test_numeric_fields_parse(self, comparisons):
+        text = comparisons_to_csv(comparisons)
+        row = next(csv.DictReader(io.StringIO(text)))
+        for field in ("energy_saving_pct", "weighted_speedup", "baseline_ipc"):
+            float(row[field])  # must not raise
+
+    def test_values_match_source(self, comparisons):
+        text = comparisons_to_csv(comparisons)
+        row = next(csv.DictReader(io.StringIO(text)))
+        assert float(row["energy_saving_pct"]) == pytest.approx(
+            comparisons[0].energy_saving_pct
+        )
+
+    def test_write_to_file(self, comparisons, tmp_path):
+        path = write_comparisons_csv(comparisons, tmp_path / "out.csv")
+        assert path.exists()
+        assert path.read_text().startswith("workload,technique")
+
+    def test_empty_input_header_only(self):
+        text = comparisons_to_csv([])
+        assert text.strip().count("\n") == 0

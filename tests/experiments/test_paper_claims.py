@@ -1,0 +1,174 @@
+"""E10: shape assertions against the paper's Section 7 claims.
+
+These integration tests run a representative workload subset at reduced
+scale and assert the *qualitative* results of the paper -- who wins, in
+which direction parameters move the metrics -- not absolute magnitudes.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import Runner, aggregate
+
+#: Representative subset: small-WS, latency-sensitive, phased, streaming,
+#: WS > LLC, non-LRU, medium.
+SUBSET = [
+    "gamess",
+    "gobmk",
+    "h264ref",
+    "libquantum",
+    "mcf",
+    "omnetpp",
+    "sphinx",
+    "bwaves",
+]
+
+INSTRUCTIONS = 6_000_000
+
+
+@pytest.fixture(scope="module")
+def runner_50us() -> Runner:
+    return Runner(SimConfig.scaled(instructions_per_core=INSTRUCTIONS))
+
+
+@pytest.fixture(scope="module")
+def esteem_50(runner_50us):
+    return runner_50us.compare_many(SUBSET, "esteem")
+
+
+@pytest.fixture(scope="module")
+def rpv_50(runner_50us):
+    return runner_50us.compare_many(SUBSET, "rpv")
+
+
+class TestSection72Claims:
+    """Results with 50 us retention (Figures 3-4, Section 7.2)."""
+
+    def test_esteem_saves_energy_on_average(self, esteem_50):
+        assert aggregate(esteem_50).energy_saving_pct > 10.0
+
+    def test_esteem_beats_rpv_on_energy(self, esteem_50, rpv_50):
+        assert (
+            aggregate(esteem_50).energy_saving_pct
+            > aggregate(rpv_50).energy_saving_pct
+        )
+
+    def test_esteem_improves_performance_on_average(self, esteem_50):
+        assert aggregate(esteem_50).weighted_speedup > 1.0
+
+    def test_esteem_outperforms_rpv(self, esteem_50, rpv_50):
+        assert (
+            aggregate(esteem_50).weighted_speedup
+            >= aggregate(rpv_50).weighted_speedup
+        )
+
+    def test_esteem_rpki_reduction_several_times_rpv(self, esteem_50, rpv_50):
+        """Section 7.2: 'compared to RPV, ESTEEM achieves nearly 4x
+        reduction in RPKI'."""
+        es = aggregate(esteem_50).rpki_decrease
+        rp = aggregate(rpv_50).rpki_decrease
+        assert es > 2.0 * rp
+
+    def test_active_ratio_in_paper_band(self, esteem_50):
+        """Paper: 44.1% average active ratio single-core."""
+        ratio = aggregate(esteem_50).active_ratio_pct
+        assert 20.0 < ratio < 75.0
+
+    def test_mpki_increase_is_small(self, esteem_50):
+        """Paper: 'the increase in off-chip traffic ... is very small'."""
+        assert aggregate(esteem_50).mpki_increase < 1.5
+
+    def test_small_ws_app_posts_largest_savings(self, esteem_50):
+        """gamess-class workloads shut off almost the whole LLC."""
+        by_name = {c.workload: c for c in esteem_50}
+        assert by_name["gamess"].energy_saving_pct > 40.0
+        assert (
+            by_name["gamess"].energy_saving_pct
+            > by_name["mcf"].energy_saving_pct
+        )
+
+    def test_big_ws_and_nonlru_apps_show_small_effect(self, esteem_50):
+        """Section 7.2: 'a small loss in performance/energy is seen ...
+        due to either the non-LRU behavior (e.g. omnetpp ...) or large
+        application working-set size (e.g. mcf ...)'."""
+        by_name = {c.workload: c for c in esteem_50}
+        for name in ("mcf", "omnetpp"):
+            assert by_name[name].energy_saving_pct < 18.0
+            assert by_name[name].weighted_speedup > 0.85
+
+    def test_rpv_does_not_change_hit_miss_behaviour(self, rpv_50):
+        for c in rpv_50:
+            assert c.mpki_increase == pytest.approx(0.0, abs=1e-9)
+            assert c.active_ratio_pct == pytest.approx(100.0)
+
+    def test_fair_speedup_close_to_weighted(self, esteem_50):
+        """Section 6.4: fair speedup 'close to the weighted speedup'."""
+        agg = aggregate(esteem_50)
+        assert agg.fair_speedup == pytest.approx(agg.weighted_speedup, rel=0.05)
+
+
+class TestSection73Claims:
+    """Reduced 40 us retention period (Figures 5-6, Section 7.3)."""
+
+    @pytest.fixture(scope="class")
+    def esteem_40(self):
+        runner = Runner(
+            SimConfig.scaled(retention_us=40.0, instructions_per_core=INSTRUCTIONS)
+        )
+        return runner.compare_many(SUBSET, "esteem")
+
+    def test_lower_retention_increases_esteem_benefit(self, esteem_40, esteem_50):
+        """'at lower retention period, the scope of and benefits from
+        reducing refresh operations are further increased'."""
+        sav40 = aggregate(esteem_40).energy_saving_pct
+        sav50 = aggregate(esteem_50).energy_saving_pct
+        assert sav40 > sav50
+
+    def test_lower_retention_increases_speedup(self, esteem_40, esteem_50):
+        assert (
+            aggregate(esteem_40).weighted_speedup
+            >= aggregate(esteem_50).weighted_speedup
+        )
+
+    def test_baseline_refreshes_more_at_40us(self, esteem_40, esteem_50):
+        by40 = {c.workload: c.baseline.rpki for c in esteem_40}
+        by50 = {c.workload: c.baseline.rpki for c in esteem_50}
+        for name in SUBSET:
+            assert by40[name] > by50[name]
+
+
+class TestTable3Trends:
+    """Directional checks for the most decisive sensitivity rows."""
+
+    WORKLOADS = ["gamess", "h264ref", "sphinx"]
+
+    @pytest.fixture(scope="class")
+    def base_config(self):
+        return SimConfig.scaled(instructions_per_core=INSTRUCTIONS)
+
+    def test_larger_cache_larger_savings(self, base_config):
+        """Table 3: 8 MB single-core saves 49.4% vs 25.8% at 4 MB."""
+        small = Runner(base_config.with_l2(size_bytes=2 * 1024 * 1024))
+        default = Runner(base_config)
+        big = Runner(base_config.with_l2(size_bytes=8 * 1024 * 1024))
+        savings = [
+            aggregate(r.compare_many(self.WORKLOADS, "esteem")).energy_saving_pct
+            for r in (small, default, big)
+        ]
+        assert savings[0] < savings[1] < savings[2]
+
+    def test_smaller_a_min_lowers_active_ratio(self, base_config):
+        """Table 3: A_min=2 -> lower active ratio, higher MPKI delta."""
+        loose = Runner(base_config.with_esteem(a_min=2))
+        tight = Runner(base_config.with_esteem(a_min=4))
+        a_loose = aggregate(loose.compare_many(self.WORKLOADS, "esteem"))
+        a_tight = aggregate(tight.compare_many(self.WORKLOADS, "esteem"))
+        assert a_loose.active_ratio_pct < a_tight.active_ratio_pct
+        assert a_loose.mpki_increase >= a_tight.mpki_increase
+
+    def test_higher_alpha_keeps_more_cache(self, base_config):
+        low = Runner(base_config.with_esteem(alpha=0.90))
+        high = Runner(base_config.with_esteem(alpha=0.99))
+        a_low = aggregate(low.compare_many(self.WORKLOADS, "esteem"))
+        a_high = aggregate(high.compare_many(self.WORKLOADS, "esteem"))
+        assert a_low.active_ratio_pct < a_high.active_ratio_pct

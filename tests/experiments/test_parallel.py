@@ -1,0 +1,42 @@
+"""Tests for process-parallel experiment execution."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.parallel import parallel_compare
+from repro.experiments.runner import Runner
+
+WORKLOADS = ["gamess", "povray", "hmmer"]
+CFG_KW = dict(instructions_per_core=400_000)
+
+
+class TestParallelCompare:
+    def test_matches_sequential_exactly(self):
+        config = SimConfig.scaled(**CFG_KW)
+        parallel = parallel_compare(config, WORKLOADS, ("esteem",), jobs=2)
+        runner = Runner(config)
+        sequential = runner.compare_many(WORKLOADS, "esteem")
+        for p, s in zip(parallel["esteem"], sequential):
+            assert p.workload == s.workload
+            assert p.result.total_cycles == s.result.total_cycles
+            assert p.result.refreshes == s.result.refreshes
+            assert p.energy_saving_pct == pytest.approx(s.energy_saving_pct)
+
+    def test_multiple_techniques_share_workload_order(self):
+        config = SimConfig.scaled(**CFG_KW)
+        out = parallel_compare(config, WORKLOADS, ("esteem", "rpv"), jobs=2)
+        assert [c.workload for c in out["esteem"]] == WORKLOADS
+        assert [c.workload for c in out["rpv"]] == WORKLOADS
+
+    def test_jobs_one_runs_inline(self):
+        config = SimConfig.scaled(**CFG_KW)
+        out = parallel_compare(config, ["gamess"], ("esteem",), jobs=1)
+        assert len(out["esteem"]) == 1
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_compare(SimConfig.scaled(**CFG_KW), [], ("esteem",))
+
+    def test_empty_techniques_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_compare(SimConfig.scaled(**CFG_KW), ["gamess"], ())

@@ -1,0 +1,44 @@
+"""Tests for the text table renderer."""
+
+import pytest
+
+from repro.experiments.report import format_table, format_value
+
+
+class TestFormatValue:
+    def test_float_digits(self):
+        assert format_value(3.14159, 2) == "3.14"
+        assert format_value(3.14159, 4) == "3.1416"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "v"], [["gamess", 1.5], ["mcf", 10.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "------" in lines[1]
+        assert lines[2].startswith("gamess")
+        # Columns align: 'v' column starts at the same offset everywhere.
+        col = lines[0].index("v")
+        assert lines[2][col:].strip() == "1.50"
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 3")
+        assert out.splitlines()[0] == "Table 3"
+        assert out.splitlines()[1] == "======="
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2

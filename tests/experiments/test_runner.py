@@ -1,0 +1,92 @@
+"""Unit/integration tests for the experiment runner."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import RunComparison, Runner, aggregate
+
+
+@pytest.fixture(scope="module")
+def runner() -> Runner:
+    # Very small instruction budget: these tests exercise plumbing, not
+    # calibration.
+    return Runner(SimConfig.scaled(instructions_per_core=2_000_000))
+
+
+class TestTraces:
+    def test_single_core_traces(self, runner):
+        traces = runner.traces_for("gamess")
+        assert len(traces) == 1
+        assert traces[0].name == "gamess"
+
+    def test_traces_are_cached(self, runner):
+        t1 = runner.traces_for("gamess")[0]
+        t2 = runner.traces_for("gamess")[0]
+        assert t1 is t2
+
+    def test_acronym_lookup(self, runner):
+        assert runner.traces_for("Ga")[0].name == "gamess"
+
+    def test_dual_core_traces(self):
+        r = Runner(SimConfig.scaled(num_cores=2, instructions_per_core=200_000))
+        traces = r.traces_for("GkNe")
+        assert [t.name for t in traces] == ["gobmk", "nekbone"]
+
+
+class TestComparison:
+    def test_compare_produces_metrics(self, runner):
+        c = runner.compare("h264ref", "esteem")
+        assert c.workload == "h264ref"
+        assert c.technique == "esteem"
+        assert c.result.technique == "esteem"
+        assert c.baseline.technique == "baseline"
+        assert isinstance(c.energy_saving_pct, float)
+        assert c.weighted_speedup > 0
+        assert 0 < c.active_ratio_pct <= 100
+
+    def test_baseline_cached_across_techniques(self, runner):
+        c1 = runner.compare("h264ref", "esteem")
+        c2 = runner.compare("h264ref", "rpv")
+        assert c1.baseline is c2.baseline
+
+    def test_rpv_has_full_active_ratio_and_zero_mpki_delta(self, runner):
+        c = runner.compare("h264ref", "rpv")
+        assert c.active_ratio_pct == pytest.approx(100.0)
+        assert c.mpki_increase == pytest.approx(0.0, abs=1e-9)
+
+    def test_esteem_reduces_refreshes(self, runner):
+        c = runner.compare("h264ref", "esteem")
+        assert c.rpki_decrease > 0
+
+    def test_compare_many(self, runner):
+        comps = runner.compare_many(["gamess", "povray"], "esteem")
+        assert [c.workload for c in comps] == ["gamess", "povray"]
+
+
+class TestAggregate:
+    def test_aggregate_means(self, runner):
+        comps = runner.compare_many(["gamess", "povray", "hmmer"], "esteem")
+        agg = aggregate(comps)
+        assert agg.workloads == 3
+        savings = [c.energy_saving_pct for c in comps]
+        assert agg.energy_saving_pct == pytest.approx(sum(savings) / 3)
+
+    def test_aggregate_rejects_mixed_techniques(self, runner):
+        a = runner.compare("gamess", "esteem")
+        b = runner.compare("gamess", "rpv")
+        with pytest.raises(ValueError):
+            aggregate([a, b])
+
+    def test_aggregate_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_geomean_used_for_speedups(self, runner):
+        comps = runner.compare_many(["gamess", "povray"], "esteem")
+        agg = aggregate(comps)
+        import math
+
+        expected = math.sqrt(
+            comps[0].weighted_speedup * comps[1].weighted_speedup
+        )
+        assert agg.weighted_speedup == pytest.approx(expected)

@@ -1,0 +1,81 @@
+"""Unit tests for the speedup and averaging metrics."""
+
+import pytest
+
+from repro.metrics.speedup import (
+    arithmetic_mean,
+    fair_speedup,
+    geometric_mean,
+    weighted_speedup,
+)
+
+
+class TestWeightedSpeedup:
+    def test_identity(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_eq9_mean_of_ratios(self):
+        # core0: 1.2x, core1: 0.8x -> WS = 1.0
+        assert weighted_speedup([1.2, 0.8], [1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_single_core(self):
+        assert weighted_speedup([0.55], [0.5]) == pytest.approx(1.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([], [])
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [0.0])
+
+
+class TestFairSpeedup:
+    def test_equal_speedups_match_ws(self):
+        ws = weighted_speedup([1.2, 2.4], [1.0, 2.0])
+        fs = fair_speedup([1.2, 2.4], [1.0, 2.0])
+        assert fs == pytest.approx(ws)
+
+    def test_fair_below_weighted_when_unfair(self):
+        # One core speeds up 2x, the other halves: WS = 1.25 but the
+        # harmonic mean punishes the slowdown: FS = 2/(0.5 + 2) = 0.8.
+        ws = weighted_speedup([2.0, 0.5], [1.0, 1.0])
+        fs = fair_speedup([2.0, 0.5], [1.0, 1.0])
+        assert ws == pytest.approx(1.25)
+        assert fs < ws
+        assert fs == pytest.approx(0.8)
+
+    def test_zero_ipc_rejected(self):
+        with pytest.raises(ValueError):
+            fair_speedup([0.0], [1.0])
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_geometric_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_arithmetic_mean_handles_negatives(self):
+        assert arithmetic_mean([-1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_arithmetic_rejects_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_geo_leq_arith(self):
+        vals = [0.5, 1.5, 2.5, 3.0]
+        assert geometric_mean(vals) <= arithmetic_mean(vals)

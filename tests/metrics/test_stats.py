@@ -1,0 +1,44 @@
+"""Unit tests for interval delta tracking."""
+
+import pytest
+
+from repro.metrics.stats import IntervalTracker
+
+
+class TestDeltas:
+    def test_first_interval_deltas_are_totals(self):
+        t = IntervalTracker()
+        d = t.take(1_000.0, l2_hits=50, l2_misses=10, refreshes_delta=7,
+                   mem_accesses=12, active_fraction=1.0)
+        assert (d.l2_hits, d.l2_misses, d.refreshes, d.mem_accesses) == (50, 10, 7, 12)
+        assert d.cycles == 1_000.0
+
+    def test_subsequent_deltas(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 10, 7, 12, 1.0)
+        d = t.take(2_500.0, 80, 15, 3, 20, 0.5)
+        assert (d.l2_hits, d.l2_misses, d.refreshes, d.mem_accesses) == (30, 5, 3, 8)
+        assert d.cycles == 1_500.0
+
+    def test_backwards_time_rejected(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 0, 0, 0, 0, 1.0)
+        with pytest.raises(ValueError):
+            t.take(500.0, 0, 0, 0, 0, 1.0)
+
+
+class TestActiveRatio:
+    def test_default_when_no_intervals(self):
+        assert IntervalTracker().mean_active_fraction == 1.0
+
+    def test_time_weighted_average(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 0, 0, 0, 0, 1.0)     # 1000 cycles at 1.0
+        t.take(4_000.0, 0, 0, 0, 0, 0.25)    # 3000 cycles at 0.25
+        expected = (1_000 * 1.0 + 3_000 * 0.25) / 4_000
+        assert t.mean_active_fraction == pytest.approx(expected)
+
+    def test_single_fraction(self):
+        t = IntervalTracker()
+        t.take(100.0, 0, 0, 0, 0, 0.4)
+        assert t.mean_active_fraction == pytest.approx(0.4)

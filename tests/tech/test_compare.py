@@ -1,0 +1,102 @@
+"""Integration tests for the technology-comparison evaluator."""
+
+import pytest
+
+from repro.tech.compare import TechSystem, evaluate_technology
+from repro.tech.params import get_technology
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.synthetic import PhaseSpec, generate_trace
+
+
+@pytest.fixture(scope="module")
+def config():
+    from repro.config import (
+        CacheGeometry, EsteemConfig, MemoryConfig, RefreshConfig, SimConfig,
+    )
+
+    return SimConfig(
+        num_cores=1,
+        l2=CacheGeometry(size_bytes=64 * 1024, associativity=8, latency_cycles=12),
+        refresh=RefreshConfig(
+            retention_cycles=2_000, num_banks=4,
+            lines_per_refresh_burst=16, rpv_phases=4,
+        ),
+        memory=MemoryConfig(latency_cycles=100),
+        esteem=EsteemConfig(
+            alpha=0.95, a_min=2, num_modules=4, sampling_ratio=8,
+            interval_cycles=10_000,
+        ),
+        instructions_per_core=60_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(config):
+    profile = BenchmarkProfile(
+        name="techload", acronym="Tc", suite="spec",
+        phases=(PhaseSpec(ws_lines=400, p_new=0.05, p_near=0.7, d_mean=2.0),),
+        write_fraction=0.4, gap_mean=20.0, base_cpi=1.0,
+        footprint_lines=400,
+    )
+    return generate_trace(profile, config.instructions_per_core, seed=0)
+
+
+class TestTechSystem:
+    def test_non_refresh_tech_rejects_edram_techniques(self, config, trace):
+        with pytest.raises(ValueError):
+            TechSystem(config, [trace], get_technology("sram"), "esteem")
+
+    def test_edram_accepts_esteem(self, config, trace):
+        r = evaluate_technology(get_technology("edram"), config, [trace], "esteem")
+        assert r.technique == "esteem"
+        assert r.result.mean_active_fraction < 1.0
+
+    def test_sram_never_refreshes(self, config, trace):
+        r = evaluate_technology(get_technology("sram"), config, [trace])
+        assert r.result.refreshes == 0
+        assert r.refresh_share == 0.0
+
+    def test_hitmiss_identical_across_technologies(self, config, trace):
+        results = {
+            name: evaluate_technology(get_technology(name), config, [trace])
+            for name in ("edram", "sram", "sttram")
+        }
+        misses = {r.result.l2_misses for r in results.values()}
+        assert len(misses) == 1
+
+
+class TestEnergyOrdering:
+    def test_sram_leaks_most(self, config, trace):
+        sram = evaluate_technology(get_technology("sram"), config, [trace])
+        edram = evaluate_technology(get_technology("edram"), config, [trace])
+        assert (
+            sram.result.energy.l2_leakage_j
+            > 7 * edram.result.energy.l2_leakage_j
+        )
+
+    def test_write_surcharge_positive_for_nvm(self, config, trace):
+        stt = evaluate_technology(get_technology("sttram"), config, [trace])
+        assert stt.write_surcharge_j > 0
+        assert stt.l2_writes > 0
+        edram = evaluate_technology(get_technology("edram"), config, [trace])
+        assert edram.write_surcharge_j == 0.0
+
+    def test_nvm_write_latency_slows_write_heavy_load(self, config, trace):
+        stt = evaluate_technology(get_technology("sttram"), config, [trace])
+        sram = evaluate_technology(get_technology("sram"), config, [trace])
+        assert stt.ipc < sram.ipc
+
+
+class TestEndurance:
+    def test_reram_lifetime_finite_and_short(self, config, trace):
+        reram = evaluate_technology(get_technology("reram"), config, [trace])
+        assert reram.lifetime_years is not None
+        stt = evaluate_technology(get_technology("sttram"), config, [trace])
+        assert stt.lifetime_years is not None
+        # Same write traffic, 4e4x endurance ratio.
+        assert stt.lifetime_years > 1000 * reram.lifetime_years
+
+    def test_unlimited_for_charge_technologies(self, config, trace):
+        for name in ("edram", "sram"):
+            r = evaluate_technology(get_technology(name), config, [trace])
+            assert r.lifetime_years is None

@@ -1,0 +1,74 @@
+"""Unit tests for the technology parameter catalogue."""
+
+import pytest
+
+from repro.tech.params import TECHNOLOGIES, TechnologyParams, get_technology
+
+
+class TestCatalogue:
+    def test_four_technologies(self):
+        assert set(TECHNOLOGIES) == {"edram", "sram", "sttram", "reram"}
+
+    def test_lookup(self):
+        assert get_technology("sram").name == "sram"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_technology("core-memory")
+
+    def test_edram_is_the_reference(self):
+        e = get_technology("edram")
+        assert e.leakage_scale == 1.0
+        assert e.read_energy_scale == 1.0
+        assert e.retention_us == 50.0
+        assert e.write_endurance is None
+
+
+class TestPaperRelations:
+    def test_sram_leaks_8x(self):
+        """Section 1: eDRAM has ~1/8th the leakage of SRAM."""
+        assert get_technology("sram").leakage_scale == pytest.approx(8.0)
+
+    def test_only_edram_refreshes(self):
+        for name, tech in TECHNOLOGIES.items():
+            assert tech.needs_refresh == (name == "edram")
+
+    def test_nvms_have_finite_endurance(self):
+        assert get_technology("sttram").write_endurance is not None
+        assert get_technology("reram").write_endurance is not None
+        assert get_technology("sram").write_endurance is None
+
+    def test_nvm_writes_slow_and_expensive(self):
+        for name in ("sttram", "reram"):
+            t = get_technology(name)
+            assert t.write_latency_cycles > t.read_latency_cycles
+            assert t.write_energy_scale > 3 * t.read_energy_scale
+
+    def test_nvms_leak_least(self):
+        leaks = {n: t.leakage_scale for n, t in TECHNOLOGIES.items()}
+        assert leaks["sttram"] < leaks["edram"] < leaks["sram"]
+        assert leaks["reram"] < leaks["edram"]
+
+    def test_sram_density_penalty(self):
+        """Section 1's area argument: SRAM cells are far larger."""
+        assert get_technology("sram").cell_area_scale >= 3.0
+
+
+class TestValidation:
+    def test_rejects_bad_scales(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(
+                name="bad", leakage_scale=1.0, read_energy_scale=0.0,
+                write_energy_scale=1.0, read_latency_cycles=10,
+                write_latency_cycles=10, retention_us=None,
+                write_endurance=None, cell_area_scale=1.0,
+            )
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            TechnologyParams(
+                name="bad", leakage_scale=1.0, read_energy_scale=1.0,
+                write_energy_scale=1.0, read_latency_cycles=10,
+                write_latency_cycles=10, retention_us=0.0,
+                write_endurance=None, cell_area_scale=1.0,
+            )

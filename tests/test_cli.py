@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_parses_knobs(self):
+        args = build_parser().parse_args(
+            ["run", "-w", "gamess", "-t", "esteem", "--alpha", "0.95",
+             "--a-min", "2", "--modules", "4", "--instructions", "100000"]
+        )
+        assert args.workload == "gamess"
+        assert args.alpha == 0.95
+        assert args.a_min == 2
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "7"])
+
+    def test_technique_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "-w", "x", "-t", "magic"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gamess" in out
+        assert "GkNe" in out
+        assert "esteem" in out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead", "--sets", "4096", "--ways", "16",
+                     "--modules", "16"]) == 0
+        assert "0.0584%" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 MB" in out and "0.212" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            ["run", "-w", "gamess", "-t", "esteem",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "esteem" in out
+        assert "saving %" in out
+
+    def test_figure2_small(self, capsys):
+        code = main(
+            ["figure", "2", "--workload", "gamess",
+             "--instructions", "2000000"]
+        )
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_figure3_subset(self, capsys):
+        code = main(
+            ["figure", "3", "--workloads", "gamess,povray",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+
+    def test_table3_subset(self, capsys):
+        code = main(
+            ["table", "3", "--system", "single",
+             "--workloads", "gamess", "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "default" in out and "32 modules" in out
+
+    def test_run_dual_core(self, capsys):
+        code = main(
+            ["run", "-w", "GkNe", "-t", "esteem", "--cores", "2",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        assert "GkNe" in capsys.readouterr().out
+
+    def test_trace_stats(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.npz"
+        code = main(
+            ["trace-stats", "-w", "gamess", "--instructions", "500000",
+             "--save", str(out_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "distinct lines" in out
+        assert "reuse distance" in out
+        assert out_path.exists()
+        from repro.workloads.trace import Trace
+
+        loaded = Trace.load(out_path)
+        assert loaded.name == "gamess"
+
+    def test_figure_csv_export(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig.csv"
+        code = main(
+            ["figure", "3", "--workloads", "gamess",
+             "--instructions", "300000", "--csv", str(csv_path)]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("workload,technique")
+
+    def test_run_new_techniques(self, capsys):
+        code = main(
+            ["run", "-w", "gamess", "-t", "esteem-drowsy", "decay", "ecc",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for tech in ("esteem-drowsy", "decay", "ecc"):
+            assert tech in out

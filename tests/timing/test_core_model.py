@@ -1,0 +1,70 @@
+"""Unit tests for per-core cycle accounting."""
+
+import pytest
+
+from repro.timing.core_model import CoreState
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace(
+        name="toy",
+        addrs=[1, 2, 3],
+        writes=[False] * 3,
+        gaps=[4, 0, 6],
+        base_cpi=2.0,
+        mem_mlp=2.0,
+    )
+
+
+class TestRetire:
+    def test_gap_charged_at_base_cpi(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        core.retire(gap=4, access_latency=10.0)
+        # (4 + 1) instructions at CPI 2 + 10 cycles of access latency.
+        assert core.cycles == pytest.approx(20.0)
+        assert core.instructions == 5
+
+    def test_accumulates(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        core.retire(4, 10.0)
+        core.retire(0, 232.0)
+        assert core.instructions == 6
+        assert core.cycles == pytest.approx(20.0 + 2.0 + 232.0)
+
+    def test_mlp_carried_from_trace(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        assert core.mem_mlp == 2.0
+
+
+class TestFirstPassRecording:
+    def test_wrap_records_once(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        for _ in range(3):
+            core.cursor.next_record()
+            core.retire(1, 5.0)
+        core.note_wrap_if_any()
+        assert core.wrapped
+        first_cycles = core.first_pass_cycles
+        assert first_cycles == core.cycles
+        # Further execution must not disturb the recorded window.
+        core.cursor.next_record()
+        core.retire(1, 5.0)
+        core.note_wrap_if_any()
+        assert core.first_pass_cycles == first_cycles
+
+    def test_result_ipc(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        for _ in range(3):
+            core.cursor.next_record()
+            core.retire(1, 3.0)
+        core.note_wrap_if_any()
+        res = core.result("toy")
+        assert res.ipc == pytest.approx(res.first_pass_instructions / res.first_pass_cycles)
+        assert res.workload == "toy"
+        assert res.wraps == 1
+
+    def test_zero_cycles_ipc_guard(self, trace):
+        core = CoreState(0, trace, addr_offset=0)
+        assert core.result("toy").ipc == 0.0

@@ -1,0 +1,57 @@
+"""Unit tests for the Table 1 dual-core mixes."""
+
+import pytest
+
+from repro.workloads.multiprog import (
+    DUAL_CORE_MIXES,
+    get_mix,
+    validate_table1_coverage,
+)
+
+
+class TestTable1:
+    def test_17_mixes(self):
+        assert len(DUAL_CORE_MIXES) == 17
+
+    def test_each_benchmark_used_exactly_once(self):
+        validate_table1_coverage()
+
+    def test_exact_paper_pairings(self):
+        expected = {
+            "GmDl": ("gemsFDTD", "dealII"),
+            "AsXb": ("astar", "xsbench"),
+            "GcGa": ("gcc", "gamess"),
+            "BzXa": ("bzip2", "xalancbmk"),
+            "LsLb": ("leslie3d", "lbm"),
+            "GkNe": ("gobmk", "nekbone"),
+            "OmGr": ("omnetpp", "gromacs"),
+            "NdCd": ("namd", "cactusADM"),
+            "CaTo": ("calculix", "tonto"),
+            "SpBw": ("sphinx", "bwaves"),
+            "LqPo": ("libquantum", "povray"),
+            "SjWr": ("sjeng", "wrf"),
+            "PeZe": ("perlbench", "zeusmp"),
+            "HmH2": ("hmmer", "h264ref"),
+            "SoMi": ("soplex", "milc"),
+            "McLu": ("mcf", "lulesh"),
+            "CoAm": ("comd", "amg2013"),
+        }
+        actual = {m.acronym: m.benchmarks for m in DUAL_CORE_MIXES}
+        assert actual == expected
+
+
+class TestLookup:
+    def test_get_mix(self):
+        mix = get_mix("GkNe")
+        assert mix.benchmarks == ("gobmk", "nekbone")
+        assert mix.name == "gobmk-nekbone"
+
+    def test_profiles_resolve(self):
+        for mix in DUAL_CORE_MIXES:
+            p1, p2 = mix.profiles
+            assert p1.name == mix.benchmarks[0]
+            assert p2.name == mix.benchmarks[1]
+
+    def test_unknown_mix(self):
+        with pytest.raises(KeyError):
+            get_mix("ZzZz")

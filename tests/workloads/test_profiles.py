@@ -1,0 +1,103 @@
+"""Unit tests for the 34 benchmark profiles."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    ALL_BENCHMARKS,
+    HPC_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    get_profile,
+)
+
+
+class TestInventory:
+    def test_29_spec_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 29
+
+    def test_5_hpc_benchmarks(self):
+        assert len(HPC_BENCHMARKS) == 5
+
+    def test_34_total_unique_names(self):
+        names = [b.name for b in ALL_BENCHMARKS]
+        assert len(names) == 34
+        assert len(set(names)) == 34
+
+    def test_unique_acronyms(self):
+        acronyms = [b.acronym for b in ALL_BENCHMARKS]
+        assert len(set(acronyms)) == 34
+
+    def test_table1_names_present(self):
+        expected = {
+            "astar", "bwaves", "bzip2", "cactusADM", "calculix", "dealII",
+            "gamess", "gcc", "gemsFDTD", "gobmk", "gromacs", "h264ref",
+            "hmmer", "lbm", "leslie3d", "libquantum", "mcf", "milc", "namd",
+            "omnetpp", "perlbench", "povray", "sjeng", "soplex", "sphinx",
+            "tonto", "wrf", "xalancbmk", "zeusmp",
+            "amg2013", "comd", "lulesh", "nekbone", "xsbench",
+        }
+        assert {b.name for b in ALL_BENCHMARKS} == expected
+
+    def test_hpc_suite_tagged(self):
+        assert all(b.suite == "hpc" for b in HPC_BENCHMARKS)
+        assert all(b.suite == "spec" for b in SPEC_BENCHMARKS)
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert get_profile("mcf").acronym == "Mc"
+
+    def test_by_acronym(self):
+        assert get_profile("Xb").name == "xsbench"
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+
+class TestPaperBehaviourClasses:
+    def test_streamers_have_huge_working_sets(self):
+        llc_lines = 65536  # 4 MB
+        for name in ("libquantum", "milc", "lbm", "bwaves"):
+            assert get_profile(name).max_ws_lines > llc_lines
+
+    def test_nonlru_class(self):
+        assert get_profile("omnetpp").is_nonlru
+        assert get_profile("xalancbmk").is_nonlru
+        assert not get_profile("gamess").is_nonlru
+
+    def test_small_llc_users(self):
+        for name in ("gamess", "povray", "hmmer"):
+            p = get_profile(name)
+            assert p.max_ws_lines < 8_000
+            assert p.footprint_lines < 16_000
+
+    def test_big_ws_class(self):
+        for name in ("mcf", "soplex"):
+            assert get_profile(name).max_ws_lines > 65536
+
+    def test_h264ref_is_phased(self):
+        assert len(get_profile("h264ref").phases) >= 3
+
+    def test_streamers_have_high_mlp(self):
+        for name in ("libquantum", "lbm", "bwaves"):
+            assert get_profile(name).mem_mlp >= 3.0
+        assert get_profile("mcf").mem_mlp < 2.0
+
+
+class TestFieldSanity:
+    def test_all_fields_within_range(self):
+        for b in ALL_BENCHMARKS:
+            assert 0 < b.write_fraction < 1
+            assert b.gap_mean > 0
+            assert 0.3 < b.base_cpi < 3.0
+            assert b.mem_mlp >= 1.0
+            assert b.footprint_lines > 0
+            assert b.footprint_lines >= 0.8 * b.max_ws_lines or b.is_nonlru
+
+    def test_l2_apki_derivation(self):
+        p = get_profile("libquantum")
+        assert p.l2_apki == pytest.approx(1000.0 / (p.gap_mean + 1.0))
+
+    def test_intensity_spectrum_is_wide(self):
+        apkis = [b.l2_apki for b in ALL_BENCHMARKS]
+        assert max(apkis) / min(apkis) > 20

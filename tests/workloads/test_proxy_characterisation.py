@@ -1,0 +1,99 @@
+"""Characterisation suite: every proxy behaves like its class claims.
+
+DESIGN.md's workload substitution stands on each proxy reproducing the
+qualitative LLC property the paper attributes to its namesake.  This suite
+pins those properties with measured L2 behaviour, one test per benchmark,
+so profile edits cannot silently move a workload out of its class.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.timing.system import System
+from repro.workloads.profiles import ALL_BENCHMARKS, get_profile
+from repro.workloads.synthetic import generate_trace
+
+INSTRUCTIONS = 1_500_000
+
+#: Expected L2 miss-rate band per benchmark at the reduced scale.
+#: Note: at 1.5 M instructions the low-intensity proxies issue only a few
+#: thousand L2 accesses, so cold misses keep even tiny-WS apps' rates
+#: moderately high; the robust class signals are the UPPER bounds for the
+#: reusable classes and the LOWER bounds for the streaming/huge-WS ones.
+MISS_RATE_BANDS = {
+    # tiny working sets (cold-dominated at this scale, but bounded)
+    "gamess": (0.0, 0.92), "povray": (0.0, 0.92), "hmmer": (0.0, 0.85),
+    "calculix": (0.0, 0.92), "namd": (0.0, 0.92), "tonto": (0.0, 0.92),
+    "gromacs": (0.0, 0.92), "gobmk": (0.0, 0.90), "nekbone": (0.0, 0.92),
+    # mediums
+    "h264ref": (0.05, 0.95), "sphinx": (0.10, 0.92), "dealII": (0.10, 0.92),
+    "bzip2": (0.10, 0.92), "perlbench": (0.05, 0.92), "sjeng": (0.10, 0.92),
+    "gcc": (0.10, 0.95), "comd": (0.10, 0.92), "astar": (0.10, 0.92),
+    "cactusADM": (0.15, 0.95), "wrf": (0.15, 0.95), "zeusmp": (0.15, 0.95),
+    "lulesh": (0.15, 0.95),
+    # streamers: high miss rates
+    "libquantum": (0.80, 1.0), "lbm": (0.60, 1.0), "bwaves": (0.45, 1.0),
+    "milc": (0.45, 1.0), "gemsFDTD": (0.40, 1.0), "leslie3d": (0.30, 1.0),
+    # WS > LLC / scattered
+    "mcf": (0.40, 1.0), "soplex": (0.35, 1.0), "xsbench": (0.55, 1.0),
+    "amg2013": (0.30, 1.0),
+    # non-LRU
+    "omnetpp": (0.30, 1.0), "xalancbmk": (0.25, 1.0),
+}
+
+#: Distinct-line trace footprints per class (scale-robust signal).
+FOOTPRINT_CLASSES = {
+    "tiny": (["gamess", "povray", "hmmer", "calculix", "namd", "tonto"],
+             0, 10_000),
+    "huge": (["libquantum", "lbm", "bwaves", "xsbench", "mcf"],
+             25_000, 10**9),
+}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SimConfig.scaled(instructions_per_core=INSTRUCTIONS)
+
+
+@pytest.fixture(scope="module")
+def baselines(config):
+    out = {}
+    for bench in ALL_BENCHMARKS:
+        trace = generate_trace(get_profile(bench.name), INSTRUCTIONS, seed=0)
+        out[bench.name] = System(config, [trace], "baseline").run()
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(MISS_RATE_BANDS))
+def test_miss_rate_in_class_band(name, baselines):
+    lo, hi = MISS_RATE_BANDS[name]
+    rate = baselines[name].l2_miss_rate
+    assert lo <= rate <= hi, f"{name}: miss rate {rate:.2f} outside [{lo},{hi}]"
+
+
+def test_all_benchmarks_covered():
+    assert set(MISS_RATE_BANDS) == {b.name for b in ALL_BENCHMARKS}
+
+
+@pytest.mark.parametrize("klass", sorted(FOOTPRINT_CLASSES))
+def test_footprint_classes(klass):
+    names, lo, hi = FOOTPRINT_CLASSES[klass]
+    for name in names:
+        trace = generate_trace(get_profile(name), INSTRUCTIONS, seed=0)
+        distinct = trace.distinct_lines()
+        assert lo <= distinct <= hi, f"{name}: {distinct} lines not {klass}"
+
+
+def test_memory_intensity_ordering(baselines):
+    """Streaming proxies generate far more L2 traffic per instruction."""
+    apki = {
+        n: (r.l2_hits + r.l2_misses) / r.total_instructions * 1000
+        for n, r in baselines.items()
+    }
+    assert apki["libquantum"] > 5 * apki["gamess"]
+    assert apki["xsbench"] > 5 * apki["povray"]
+
+
+def test_ipc_spectrum_is_wide(baselines):
+    ipcs = [r.ipcs[0] for r in baselines.values()]
+    assert min(ipcs) < 0.5 < max(ipcs)

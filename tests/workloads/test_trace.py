@@ -1,0 +1,85 @@
+"""Unit tests for trace containers and cursors."""
+
+import pytest
+
+from repro.workloads.trace import Trace, TraceCursor
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace(
+        name="toy",
+        addrs=[10, 20, 30],
+        writes=[False, True, False],
+        gaps=[5, 0, 2],
+        base_cpi=1.25,
+        mem_mlp=2.0,
+        footprint_lines=123,
+    )
+
+
+class TestTrace:
+    def test_len(self, trace):
+        assert len(trace) == 3
+
+    def test_instructions_counts_gaps_plus_records(self, trace):
+        assert trace.instructions == 5 + 0 + 2 + 3
+
+    def test_write_fraction(self, trace):
+        assert trace.write_fraction == pytest.approx(1 / 3)
+
+    def test_distinct_lines(self, trace):
+        assert trace.distinct_lines() == 3
+
+    def test_records_iteration(self, trace):
+        assert list(trace.records()) == [(10, False, 5), (20, True, 0), (30, False, 2)]
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(name="bad", addrs=[1], writes=[], gaps=[1])
+
+    def test_empty_trace_write_fraction(self):
+        assert Trace(name="empty").write_fraction == 0.0
+
+
+class TestSerialisation:
+    def test_save_load_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert loaded.name == trace.name
+        assert loaded.addrs == trace.addrs
+        assert loaded.writes == trace.writes
+        assert loaded.gaps == trace.gaps
+        assert loaded.base_cpi == trace.base_cpi
+        assert loaded.mem_mlp == trace.mem_mlp
+        assert loaded.footprint_lines == trace.footprint_lines
+
+    def test_to_bytes_nonempty(self, trace):
+        assert len(trace.to_bytes()) > 0
+
+
+class TestCursor:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceCursor(Trace(name="empty"))
+
+    def test_sequential_iteration(self, trace):
+        cur = TraceCursor(trace)
+        assert cur.next_record() == (10, False, 5)
+        assert cur.next_record() == (20, True, 0)
+        assert not cur.first_pass_done
+
+    def test_wraps_at_end(self, trace):
+        cur = TraceCursor(trace)
+        for _ in range(3):
+            cur.next_record()
+        assert cur.first_pass_done
+        assert cur.wraps == 1
+        assert cur.next_record() == (10, False, 5)
+
+    def test_multiple_wraps(self, trace):
+        cur = TraceCursor(trace)
+        for _ in range(7):
+            cur.next_record()
+        assert cur.wraps == 2
