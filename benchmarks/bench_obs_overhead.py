@@ -1,0 +1,123 @@
+"""Micro-benchmark: the observability layer's no-op cost.
+
+The instrumentation contract (ISSUE 1) is that a ``System`` built without
+a tracer/registry/profiler pays only ``is not None`` guard tests on the
+hot path, so ``bench_simulator_throughput`` must stay within 2% of its
+pre-instrumentation numbers.  Two checks enforce that locally:
+
+1. the measured aggregate guard cost of a full ESTEEM run (guard
+   executions x per-guard cost) must be < 2% of the run's wall time, and
+2. a run with *enabled* tracing+metrics must not be faster than the
+   no-op run (sanity: the guards really are the cheap branch).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import SimConfig
+from repro.obs import MetricsRegistry, Tracer
+from repro.timing.system import System
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+
+_CFG = SimConfig.scaled(instructions_per_core=1_500_000)
+
+
+def _trace():
+    return generate_trace(get_profile("sphinx"), _CFG.instructions_per_core, seed=0)
+
+
+def _time_best_of(fn, rounds: int = 3) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _per_guard_seconds() -> float:
+    """Cost of one ``self.tracer is not None`` style guard."""
+
+    class _Holder:
+        tracer = None
+
+    holder = _Holder()
+    n = 2_000_000
+    hits = 0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if holder.tracer is not None:
+            hits += 1
+    elapsed = time.perf_counter() - t0
+    assert hits == 0
+    return elapsed / n
+
+
+def bench_noop_instrumentation_overhead(benchmark):
+    """Guard cost of the disabled-observability path, as % of run time."""
+    trace = _trace()
+
+    def run_noop():
+        return System(_CFG, [trace], "esteem").run()
+
+    noop_seconds, result = _time_best_of(run_noop)
+
+    # Guard executions on the no-op path: one per L2 miss (_service), one
+    # per refresh boundary (advance_to), a handful per interval (interval
+    # close, energy accounting, controller), two per run.
+    boundaries = int(result.total_cycles) // _CFG.refresh.retention_cycles + 1
+    guards = result.l2_misses + boundaries + result.intervals * 4 + 2
+
+    guard_seconds = _per_guard_seconds()
+    overhead = guards * guard_seconds / noop_seconds
+
+    benchmark.extra_info["noop_run_seconds"] = round(noop_seconds, 4)
+    benchmark.extra_info["guard_executions"] = guards
+    benchmark.extra_info["per_guard_ns"] = round(guard_seconds * 1e9, 2)
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 6)
+    benchmark.pedantic(run_noop, rounds=1, iterations=1)
+
+    assert overhead < 0.02, (
+        f"no-op instrumentation guard cost is {overhead:.2%} of the run "
+        f"({guards} guards x {guard_seconds * 1e9:.0f} ns vs "
+        f"{noop_seconds:.3f}s) -- must stay under 2%"
+    )
+
+
+def bench_enabled_vs_noop_tracing(benchmark):
+    """Wall-time ratio of fully-enabled tracing+metrics vs the no-op path."""
+    trace = _trace()
+
+    def run_noop():
+        return System(_CFG, [trace], "esteem").run()
+
+    def run_enabled():
+        return System(
+            _CFG,
+            [trace],
+            "esteem",
+            tracer=Tracer(),
+            metrics=MetricsRegistry(),
+        ).run()
+
+    noop_seconds, noop_result = _time_best_of(run_noop)
+    enabled_seconds, enabled_result = _time_best_of(run_enabled)
+
+    # Observation must not perturb simulation outcomes.
+    assert enabled_result.total_cycles == noop_result.total_cycles
+    assert enabled_result.refreshes == noop_result.refreshes
+
+    ratio = enabled_seconds / noop_seconds
+    benchmark.extra_info["noop_seconds"] = round(noop_seconds, 4)
+    benchmark.extra_info["enabled_seconds"] = round(enabled_seconds, 4)
+    benchmark.extra_info["enabled_over_noop"] = round(ratio, 4)
+    benchmark.pedantic(run_enabled, rounds=1, iterations=1)
+
+    # The no-op path must be the cheap branch (5% slack for timer noise).
+    assert noop_seconds <= enabled_seconds * 1.05, (
+        f"no-op path ({noop_seconds:.3f}s) slower than enabled tracing "
+        f"({enabled_seconds:.3f}s)"
+    )

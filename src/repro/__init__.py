@@ -41,7 +41,8 @@ from repro.experiments import (
     fig2_reconfiguration_timeline,
     per_workload_comparison,
 )
-from repro.experiments.parallel import parallel_compare
+from repro.experiments.parallel import ParallelWorkerError, parallel_compare
+from repro.obs import MetricsRegistry, Profiler, ProgressReporter, Tracer
 from repro.tech import TECHNOLOGIES, evaluate_technology
 from repro.timing import FullHierarchySystem, System, SystemResult
 from repro.workloads import (
@@ -62,6 +63,11 @@ __all__ = [
     "SelectiveSetsController",
     "TECHNOLOGIES",
     "evaluate_technology",
+    "MetricsRegistry",
+    "ParallelWorkerError",
+    "Profiler",
+    "ProgressReporter",
+    "Tracer",
     "parallel_compare",
     "CacheGeometry",
     "DUAL_CORE_MIXES",

@@ -8,10 +8,14 @@ Subcommands::
     repro figure 3                      # regenerate a figure's series
     repro table 3 --system single      # regenerate Table 3 rows
     repro overhead --sets 4096 --ways 16 --modules 16   # Eq. 1
+    repro trace -w h264ref -t esteem --format jsonl     # event trace dump
 
 All experiment subcommands accept ``--instructions`` (trace scale),
 ``--retention`` (us), and the ESTEEM knobs (``--alpha``, ``--a-min``,
-``--modules``, ``--interval``, ``--sampling-ratio``).
+``--modules``, ``--interval``, ``--sampling-ratio``), plus the
+observability flags ``--profile`` (span timing report on stderr),
+``-v``/``--verbose`` (progress + ETA lines during sweeps) and
+``-q``/``--quiet`` (suppress stderr chatter).
 """
 
 from __future__ import annotations
@@ -53,6 +57,12 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for workload sweeps")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a wall/CPU-time span report on stderr")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="progress + ETA reporting on stderr")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress stderr progress output")
 
 
 def _build_config(args: argparse.Namespace) -> SimConfig:
@@ -92,9 +102,24 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_profiler(args: argparse.Namespace):
+    """A Profiler when ``--profile`` was given, else None."""
+    if not getattr(args, "profile", False):
+        return None
+    from repro.obs import Profiler
+
+    return Profiler()
+
+
+def _finish_profile(profiler) -> None:
+    if profiler is not None:
+        profiler.report(sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args)
-    runner = Runner(config, seed=args.seed)
+    profiler = _make_profiler(args)
+    runner = Runner(config, seed=args.seed, profiler=profiler)
     rows = []
     for technique in args.technique:
         if technique == "baseline":
@@ -116,13 +141,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         rows,
         title=f"techniques vs periodic-all baseline ({args.workload})",
     ))
+    _finish_profile(profiler)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     config = _build_config(args)
+    profiler = _make_profiler(args)
     if args.number == 2:
-        runner = Runner(config, seed=args.seed)
+        runner = Runner(config, seed=args.seed, profiler=profiler)
         _result, points = fig2_reconfiguration_timeline(runner, args.workload)
         rows = [
             [p.interval, p.active_ratio_pct, " ".join(map(str, p.ways_per_module))]
@@ -132,6 +159,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             ["interval", "active %", "ways per module"], rows,
             title=f"Figure 2: ESTEEM reconfiguration of {args.workload}",
         ))
+        _finish_profile(profiler)
         return 0
 
     cores = 2 if args.number in (4, 6) else 1
@@ -147,15 +175,33 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         workloads = [m.acronym for m in DUAL_CORE_MIXES]
     if args.workloads:
         workloads = args.workloads.split(",")
+    if args.jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {args.jobs}")
     if args.jobs > 1:
         raw = parallel_compare(
             config, workloads, ("esteem", "rpv"),
             seed=args.seed, jobs=args.jobs,
+            progress=not args.quiet,
         )
         rows = _figure_rows_from_raw(raw)
     else:
-        runner = Runner(config, seed=args.seed)
-        rows, raw = per_workload_comparison(runner, workloads)
+        runner = Runner(config, seed=args.seed, profiler=profiler)
+        if args.verbose and not args.quiet:
+            from repro.obs import ProgressReporter
+
+            reporter = ProgressReporter(len(workloads), label="figure")
+            rows, raw = [], {"esteem": [], "rpv": []}
+            from repro.experiments.figures import per_workload_comparison as _pwc
+
+            for workload in workloads:
+                r, partial = _pwc(runner, [workload])
+                rows.extend(r)
+                raw["esteem"].extend(partial["esteem"])
+                raw["rpv"].extend(partial["rpv"])
+                reporter.advance(workload)
+            reporter.finish()
+        else:
+            rows, raw = per_workload_comparison(runner, workloads)
     table = [
         [r.workload, r.esteem_energy_saving_pct, r.rpv_energy_saving_pct,
          r.esteem_weighted_speedup, r.rpv_weighted_speedup]
@@ -174,6 +220,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
         path = write_comparisons_csv(raw["esteem"] + raw["rpv"], args.csv)
         print(f"CSV written to {path}")
+    _finish_profile(profiler)
     return 0
 
 
@@ -223,18 +270,70 @@ def _cmd_table(args: argparse.Namespace) -> int:
         workloads = [m.acronym for m in DUAL_CORE_MIXES]
     if args.workloads:
         workloads = args.workloads.split(",")
+    profiler = _make_profiler(args)
+    variants = SENSITIVITY_VARIANTS[system]
     rows = []
-    for variant in SENSITIVITY_VARIANTS[system]:
-        agg = sensitivity_row(config, variant, workloads, seed=args.seed)
+    from repro.obs import ProgressReporter
+
+    reporter = ProgressReporter(
+        len(variants), label=f"table3-{system}", enabled=not args.quiet
+    )
+    for variant in variants:
+        if profiler is not None:
+            with profiler.span(f"table3:{variant.label}"):
+                agg = sensitivity_row(config, variant, workloads, seed=args.seed)
+        else:
+            agg = sensitivity_row(config, variant, workloads, seed=args.seed)
         rows.append(
             [variant.label, agg.energy_saving_pct, agg.weighted_speedup,
              agg.rpki_decrease, agg.mpki_increase, agg.active_ratio_pct]
         )
-        print(f"  done: {variant.label}", file=sys.stderr)
+        reporter.advance(variant.label)
     print(format_table(
         ["row", "saving %", "WS", "dRPKI", "dMPKI", "active %"], rows,
         title=f"Table 3 ({system}-core)",
     ))
+    _finish_profile(profiler)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one (workload, technique) pair and dump its event trace."""
+    from repro.obs import Tracer
+
+    config = _build_config(args)
+    tracer = Tracer(capacity=args.capacity)
+    profiler = _make_profiler(args)
+    runner = Runner(config, seed=args.seed, tracer=tracer, profiler=profiler)
+    result = runner.run(args.workload, args.technique)
+
+    if args.format == "jsonl":
+        text = tracer.to_jsonl() + ("\n" if len(tracer) else "")
+    else:
+        text = tracer.format_pretty()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        if not args.quiet:
+            print(
+                f"{len(tracer)} events written to {args.output}",
+                file=sys.stderr,
+            )
+    else:
+        sys.stdout.write(text)
+
+    if not args.quiet:
+        tally = ", ".join(
+            f"{t}={n}" for t, n in sorted(tracer.tally().items())
+        )
+        dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+        print(
+            f"trace: workload={args.workload} technique={args.technique} "
+            f"intervals={result.intervals} events={len(tracer)}"
+            f"{dropped} ({tally})",
+            file=sys.stderr,
+        )
+    _finish_profile(profiler)
     return 0
 
 
@@ -334,6 +433,25 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated workload subset")
     _add_machine_args(tab)
 
+    trc = sub.add_parser(
+        "trace",
+        help="run one (workload, technique) pair and dump the event trace",
+    )
+    trc.add_argument("-w", "--workload", required=True,
+                     help="benchmark name/acronym, or mix acronym with --cores 2")
+    trc.add_argument("-t", "--technique", default="esteem",
+                     choices=[t for t in TECHNIQUES])
+    trc.add_argument("--format", choices=("jsonl", "pretty"), default="jsonl",
+                     help="event dump format (default: jsonl)")
+    trc.add_argument("--output", default=None,
+                     help="write the trace to a file instead of stdout")
+    trc.add_argument("--capacity", type=int, default=65_536,
+                     help="event ring-buffer capacity")
+    _add_machine_args(trc)
+    # Default to the quick bench scale so the emitted interval-decision
+    # sequence matches benchmarks/results/fig2_reconfig_timeline.txt.
+    trc.set_defaults(instructions=4_000_000)
+
     ovh = sub.add_parser("overhead", help="evaluate Eq. 1 counter overhead")
     ovh.add_argument("--sets", type=int, default=4096)
     ovh.add_argument("--ways", type=int, default=16)
@@ -360,6 +478,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _cmd_figure,
         "table": _cmd_table,
         "overhead": _cmd_overhead,
+        "trace": _cmd_trace,
         "trace-stats": _cmd_trace_stats,
     }
     return handlers[args.command](args)

@@ -22,6 +22,12 @@ from repro.core.atd import ATDProfiler
 from repro.core.modules import ModuleMap
 from repro.core.reconfig import ReconfigStats, ReconfigurationController
 from repro.mem.dram import MainMemory
+from repro.obs.trace import (
+    EVENT_INTERVAL_DECISION,
+    EVENT_RECONFIG_TRANSITION,
+    Tracer,
+    active_tracer,
+)
 
 __all__ = ["EsteemController", "IntervalDecision"]
 
@@ -48,11 +54,14 @@ class EsteemController:
         cache: SetAssociativeCache,
         config: EsteemConfig,
         memory: MainMemory | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         config.validate_for_cache(cache.geometry)
         self.cache = cache
         self.config = config
         self.memory = memory
+        #: Event tracer (``None`` when tracing is disabled).
+        self.tracer = active_tracer(tracer)
         self.module_map = ModuleMap(
             cache.num_sets, config.num_modules, config.sampling_ratio
         )
@@ -109,6 +118,29 @@ class EsteemController:
             clean_discards=stats.clean_discards,
         )
         self.timeline.append(record)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                EVENT_INTERVAL_DECISION,
+                now_cycle,
+                interval=record.interval_index,
+                n_active_way=list(record.n_active_way),
+                non_lru=list(record.non_lru),
+                active_fraction=record.active_fraction,
+                transitions=record.transitions,
+                flush_writebacks=record.flush_writebacks,
+                clean_discards=record.clean_discards,
+            )
+            if stats.modules_changed:
+                tracer.emit(
+                    EVENT_RECONFIG_TRANSITION,
+                    now_cycle,
+                    interval=record.interval_index,
+                    modules_changed=stats.modules_changed,
+                    transitions=stats.transitions,
+                    flush_writebacks=len(stats.writebacks),
+                    clean_discards=stats.clean_discards,
+                )
         self._interval_index += 1
         self.profiler.reset()
         return record

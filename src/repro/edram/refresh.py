@@ -28,6 +28,7 @@ import numpy as np
 from repro.cache.block import LineState
 from repro.config import RefreshConfig
 from repro.edram.bank import BankedRefreshScheduler
+from repro.obs.trace import EVENT_REFRESH_BURST
 
 __all__ = [
     "EsteemDrowsyRefresh",
@@ -65,6 +66,9 @@ class RefreshEngine(ABC):
         self._next_boundary = self.window_cycles
         #: Number of refresh boundaries processed (diagnostics).
         self.boundaries = 0
+        #: Event tracer for refresh bursts (``None`` = disabled; the owning
+        #: :class:`~repro.timing.system.System` injects an enabled one).
+        self.tracer = None
 
     # ------------------------------------------------------------------
 
@@ -90,12 +94,22 @@ class RefreshEngine(ABC):
         if cycle < nb:
             return
         window = self.window_cycles
+        tracer = self.tracer
         while nb <= cycle:
             count = self._lines_to_refresh(nb)
             self.total_refreshes += count
             self._delta_refreshes += count
             self.current_stall = self.scheduler.expected_stall(count, window)
             self.boundaries += 1
+            if tracer is not None and count:
+                tracer.emit(
+                    EVENT_REFRESH_BURST,
+                    nb,
+                    policy=self.name,
+                    lines=count,
+                    stall_cycles=self.current_stall,
+                    boundary=self.boundaries - 1,
+                )
             nb += window
         self._next_boundary = nb
 

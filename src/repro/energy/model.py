@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 
 from repro.config import LINE_SIZE_BYTES, TAG_BITS
 from repro.energy.params import EnergyParams
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "EnergyAccumulator",
@@ -103,12 +104,23 @@ class EnergyBreakdown:
 
 
 class EnergyAccumulator:
-    """Applies Eqs. (2)-(8) interval by interval."""
+    """Applies Eqs. (2)-(8) interval by interval.
 
-    def __init__(self, params: EnergyParams) -> None:
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is injected (and
+    enabled), per-interval joules and inputs are recorded under the
+    ``energy.*`` metric names; with no registry the accumulator pays a
+    single ``is not None`` test per interval.
+    """
+
+    def __init__(
+        self, params: EnergyParams, registry: MetricsRegistry | None = None
+    ) -> None:
         self.params = params
         self.totals = EnergyBreakdown()
         self.intervals = 0
+        self._registry = (
+            registry if registry is not None and registry.enabled else None
+        )
 
     def add_interval(self, inputs: IntervalEnergyInputs) -> EnergyBreakdown:
         """Account one interval; returns that interval's breakdown."""
@@ -123,6 +135,16 @@ class EnergyAccumulator:
         )
         self.totals.add(delta)
         self.intervals += 1
+        reg = self._registry
+        if reg is not None:
+            reg.counter("energy.intervals").inc()
+            for name, joules in delta.as_dict().items():
+                reg.counter(f"energy.{name}").inc(joules)
+            reg.histogram(
+                "energy.interval_refreshes",
+                help="N_R per interval",
+            ).observe(inputs.refreshes)
+            reg.gauge("energy.active_fraction").set(inputs.active_fraction)
         return delta
 
 

@@ -4,10 +4,17 @@ Trace generation is deterministic in ``(benchmark, instruction budget,
 seed)`` but costs up to a second per streaming workload, and every
 figure/table bench reuses the same traces across techniques and
 configurations.  This module memoises them for the lifetime of the process.
+
+Observability: cache hits/misses and generation time are recorded in the
+process-wide default metrics registry (``trace_cache.*`` names), and a
+caller-supplied :class:`~repro.obs.profile.Profiler` gets one span per
+actual generation (cache misses only).
 """
 
 from __future__ import annotations
 
+from repro.obs.metrics import get_default_registry
+from repro.obs.profile import Profiler
 from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import Trace
@@ -17,14 +24,38 @@ __all__ = ["get_trace", "clear"]
 _CACHE: dict[tuple[str, int, int], Trace] = {}
 
 
-def get_trace(profile: BenchmarkProfile, max_instructions: int, seed: int) -> Trace:
+def get_trace(
+    profile: BenchmarkProfile,
+    max_instructions: int,
+    seed: int,
+    profiler: Profiler | None = None,
+) -> Trace:
     """Memoised :func:`repro.workloads.synthetic.generate_trace`."""
     key = (profile.name, max_instructions, seed)
     trace = _CACHE.get(key)
+    registry = get_default_registry()
     if trace is None:
-        trace = generate_trace(profile, max_instructions, seed=seed)
+        registry.counter("trace_cache.misses").inc()
+        if profiler is not None and profiler.enabled:
+            with profiler.span(
+                f"trace.generate:{profile.name}",
+                instructions=max_instructions,
+                seed=seed,
+            ) as span:
+                trace = generate_trace(profile, max_instructions, seed=seed)
+            registry.histogram(
+                "trace_cache.generate_seconds", buckets=_GEN_BUCKETS
+            ).observe(span.wall_s)
+        else:
+            trace = generate_trace(profile, max_instructions, seed=seed)
         _CACHE[key] = trace
+    else:
+        registry.counter("trace_cache.hits").inc()
     return trace
+
+
+#: Generation-time histogram buckets (seconds).
+_GEN_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0)
 
 
 def clear() -> None:

@@ -12,27 +12,69 @@ techniques within a worker, which is the same sharing the sequential
 
 Everything crossing the process boundary (configs, traces, results) is
 plain dataclasses/ints, so the default pickling works.
+
+Observability: with ``progress=True`` (or a custom
+:class:`~repro.obs.profile.ProgressReporter`) each completed workload
+prints a progress + ETA line to stderr; each worker times its own unit
+with a profiling span and the wall time rides back with the results.
+Worker failures surface as :class:`ParallelWorkerError` naming the failing
+workload, with the worker-side traceback in the message -- not as a bare
+unpicklable exception from the pool.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable, Sequence
 
 from repro.config import SimConfig
 from repro.experiments.runner import RunComparison, Runner
+from repro.obs.profile import Profiler, ProgressReporter
 
-__all__ = ["parallel_compare"]
+__all__ = ["ParallelWorkerError", "parallel_compare"]
+
+
+class ParallelWorkerError(RuntimeError):
+    """A sweep worker died; carries the workload that was running.
+
+    The worker-side traceback is folded into the message because raw
+    exceptions (with their tracebacks and possibly unpicklable payloads)
+    do not cross the process boundary reliably.
+    """
+
+    def __init__(self, workload: str, detail: str) -> None:
+        super().__init__(workload, detail)
+        self.workload = workload
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"sweep worker failed on workload {self.workload!r}: {self.detail}"
 
 
 def _workload_task(
     args: tuple[SimConfig, str, tuple[str, ...], int],
-) -> list[RunComparison]:
-    """Worker: all techniques for one workload (module-level: picklable)."""
+) -> tuple[list[RunComparison], float]:
+    """Worker: all techniques for one workload (module-level: picklable).
+
+    Returns the comparisons plus the unit's wall time; failures are
+    re-raised as :class:`ParallelWorkerError` so the parent knows which
+    workload died.
+    """
     config, workload, techniques, seed = args
-    runner = Runner(config, seed=seed)
-    return [runner.compare(workload, technique) for technique in techniques]
+    profiler = Profiler()
+    try:
+        with profiler.span(f"worker:{workload}") as span:
+            runner = Runner(config, seed=seed)
+            comparisons = [
+                runner.compare(workload, technique) for technique in techniques
+            ]
+        return comparisons, span.wall_s
+    except ParallelWorkerError:
+        raise
+    except Exception:
+        raise ParallelWorkerError(workload, traceback.format_exc()) from None
 
 
 def parallel_compare(
@@ -41,12 +83,17 @@ def parallel_compare(
     techniques: Sequence[str] = ("esteem", "rpv"),
     seed: int = 0,
     jobs: int | None = None,
+    progress: bool | ProgressReporter = False,
 ) -> dict[str, list[RunComparison]]:
     """Run ``techniques`` on every workload, fanned out over processes.
 
     Returns comparisons keyed by technique, in workload order -- the same
     shape as running :meth:`Runner.compare_many` per technique, but using
     up to ``jobs`` worker processes (default: the machine's CPU count).
+
+    ``progress=True`` prints one per-workload completion line with an ETA
+    to stderr; pass a :class:`~repro.obs.profile.ProgressReporter` to
+    control the stream/label (its ``total`` is overridden).
     """
     workload_list = list(workloads)
     if not workload_list:
@@ -54,19 +101,45 @@ def parallel_compare(
     technique_tuple = tuple(techniques)
     if not technique_tuple:
         raise ValueError("need at least one technique")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
 
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
-    jobs = max(1, min(jobs, len(workload_list)))
+    jobs = min(jobs, len(workload_list))
+
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+        reporter.total = len(workload_list)
+    else:
+        reporter = ProgressReporter(
+            len(workload_list), label="sweep", enabled=bool(progress)
+        )
 
     tasks = [(config, w, technique_tuple, seed) for w in workload_list]
+    results: list[list[RunComparison] | None] = [None] * len(tasks)
     if jobs == 1:
-        results = [_workload_task(t) for t in tasks]
+        for i, task in enumerate(tasks):
+            comparisons, unit_seconds = _workload_task(task)
+            results[i] = comparisons
+            reporter.advance(workload_list[i], unit_seconds)
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(_workload_task, tasks))
+            pending = {
+                pool.submit(_workload_task, task): i
+                for i, task in enumerate(tasks)
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = pending.pop(future)
+                    comparisons, unit_seconds = future.result()
+                    results[i] = comparisons
+                    reporter.advance(workload_list[i], unit_seconds)
+    reporter.finish()
 
     out: dict[str, list[RunComparison]] = {t: [] for t in technique_tuple}
     for per_workload in results:
+        assert per_workload is not None
         for comparison in per_workload:
             out[comparison.technique].append(comparison)
     return out

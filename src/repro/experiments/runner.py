@@ -15,6 +15,9 @@ from typing import Iterable
 
 from repro.config import SimConfig
 from repro.experiments import _trace_cache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import Tracer, active_tracer
 from repro.metrics.speedup import (
     arithmetic_mean,
     fair_speedup,
@@ -106,11 +109,32 @@ def aggregate(comparisons: Iterable[RunComparison]) -> AggregateResult:
 
 
 class Runner:
-    """Runs workloads under a configuration, reusing traces and baselines."""
+    """Runs workloads under a configuration, reusing traces and baselines.
 
-    def __init__(self, config: SimConfig | None = None, seed: int = 0) -> None:
+    Observability (all optional, no-op by default): an injected
+    :class:`~repro.obs.trace.Tracer` records structured events from every
+    simulated system, a :class:`~repro.obs.metrics.MetricsRegistry`
+    accumulates run counters, and a :class:`~repro.obs.profile.Profiler`
+    times each ``(workload, technique)`` run as a span.
+    """
+
+    def __init__(
+        self,
+        config: SimConfig | None = None,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
+    ) -> None:
         self.config = config if config is not None else SimConfig.scaled()
         self.seed = seed
+        self.tracer = active_tracer(tracer)
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        self.profiler = (
+            profiler if profiler is not None and profiler.enabled else None
+        )
         # Baseline results are reused across techniques for one workload.
         self._baseline_cache: dict[str, SystemResult] = {}
 
@@ -127,10 +151,15 @@ class Runner:
         budget = self.config.instructions_per_core
         if self.config.num_cores == 1:
             profile = get_profile(workload)
-            return [_trace_cache.get_trace(profile, budget, self.seed)]
+            return [
+                _trace_cache.get_trace(
+                    profile, budget, self.seed, profiler=self.profiler
+                )
+            ]
         mix = get_mix(workload)
         return [
-            _trace_cache.get_trace(p, budget, self.seed) for p in mix.profiles
+            _trace_cache.get_trace(p, budget, self.seed, profiler=self.profiler)
+            for p in mix.profiles
         ]
 
     # ------------------------------------------------------------------
@@ -140,7 +169,15 @@ class Runner:
     def run(self, workload: str, technique: str) -> SystemResult:
         """Simulate one (workload, technique) pair."""
         traces = self.traces_for(workload)
-        return System(self.config, traces, technique).run()
+        system = System(
+            self.config,
+            traces,
+            technique,
+            tracer=self.tracer,
+            metrics=self.metrics,
+            profiler=self.profiler,
+        )
+        return system.run()
 
     def baseline(self, workload: str) -> SystemResult:
         """Baseline run (cached per workload)."""

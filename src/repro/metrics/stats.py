@@ -46,13 +46,28 @@ class IntervalTracker:
     ) -> CounterDeltas:
         """Close an interval ending at ``now_cycle``.
 
-        ``l2_hits``/``l2_misses``/``mem_accesses`` are monotonic totals;
-        ``refreshes_delta`` is already a delta (the refresh engines expose
-        ``take_refresh_delta``).
+        ``l2_hits``/``l2_misses``/``mem_accesses`` are *monotonic totals*
+        (the tracker subtracts its previous snapshot); ``refreshes_delta``
+        is already a delta (the refresh engines expose
+        ``take_refresh_delta``).  A regressing total means the caller
+        reset a counter mid-run or wired a delta where a total belongs --
+        both corrupt every subsequent interval's energy accounting, so a
+        :class:`ValueError` naming the offending counter is raised instead
+        of silently producing a negative delta.
         """
         cycles = now_cycle - self._last_cycle
         if cycles < 0:
             raise ValueError("interval boundaries must be non-decreasing")
+        for name, value, last in (
+            ("l2_hits", l2_hits, self._last_hits),
+            ("l2_misses", l2_misses, self._last_misses),
+            ("mem_accesses", mem_accesses, self._last_mem),
+        ):
+            if value < last:
+                raise ValueError(
+                    f"monotonic counter {name!r} regressed: "
+                    f"{value} < previous snapshot {last}"
+                )
         deltas = CounterDeltas(
             l2_hits=l2_hits - self._last_hits,
             l2_misses=l2_misses - self._last_misses,

@@ -1,0 +1,71 @@
+"""``repro.obs``: observability for the simulation stack (X12).
+
+Three zero-dependency layers:
+
+* :mod:`repro.obs.metrics` -- counters, gauges, fixed-bucket histograms in
+  a :class:`~repro.obs.metrics.MetricsRegistry` (plus a process-wide
+  default and a shared no-op registry);
+* :mod:`repro.obs.trace` -- a structured event :class:`~repro.obs.trace.
+  Tracer` with a bounded ring buffer and JSONL export, fed by the
+  simulation loop (interval decisions, refresh bursts, reconfigurations,
+  per-interval energy inputs, memory-queue stalls);
+* :mod:`repro.obs.profile` -- wall/CPU-time spans and sweep progress/ETA
+  reporting.
+
+Everything is injectable and defaults to off: ``System``, ``Runner`` and
+the parallel sweep accept a tracer/registry/profiler and pay a single
+``is not None`` test per instrumentation point when none is given.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.profile import Profiler, ProgressReporter, Span, format_seconds
+from repro.obs.trace import (
+    EVENT_INTERVAL_DECISION,
+    EVENT_INTERVAL_ENERGY,
+    EVENT_MSHR_STALL,
+    EVENT_RECONFIG_TRANSITION,
+    EVENT_REFRESH_BURST,
+    EVENT_SIM_END,
+    EVENT_SIM_START,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "get_default_registry",
+    "set_default_registry",
+    "Profiler",
+    "ProgressReporter",
+    "Span",
+    "format_seconds",
+    "EVENT_INTERVAL_DECISION",
+    "EVENT_INTERVAL_ENERGY",
+    "EVENT_MSHR_STALL",
+    "EVENT_RECONFIG_TRANSITION",
+    "EVENT_REFRESH_BURST",
+    "EVENT_SIM_END",
+    "EVENT_SIM_START",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+]

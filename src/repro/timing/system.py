@@ -44,6 +44,16 @@ from repro.energy.model import (
 from repro.energy.params import EnergyParams
 from repro.mem.dram import MainMemory
 from repro.metrics.stats import IntervalTracker
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import Profiler
+from repro.obs.trace import (
+    EVENT_INTERVAL_ENERGY,
+    EVENT_MSHR_STALL,
+    EVENT_SIM_END,
+    EVENT_SIM_START,
+    Tracer,
+    active_tracer,
+)
 from repro.timing.core_model import CoreResult, CoreState
 from repro.workloads.trace import Trace
 
@@ -131,6 +141,9 @@ class System:
         config: SimConfig,
         traces: list[Trace],
         technique: str = "baseline",
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         if technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {technique!r}; use one of {TECHNIQUES}")
@@ -144,15 +157,28 @@ class System:
         self.technique = technique
         self.traces = traces
         self.workload = "-".join(t.name for t in traces)
+        # Observability is injectable and off by default; disabled
+        # instruments are normalised to None so the hot loop's only cost
+        # is an ``is not None`` test.
+        self.tracer = active_tracer(tracer)
+        self.metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
+        self.profiler = (
+            profiler if profiler is not None and profiler.enabled else None
+        )
 
         self.l2 = SetAssociativeCache(config.l2, name="L2")
         self.memory = MainMemory(config.memory)
         self.engine = self._build_engine()
+        self.engine.tracer = self.tracer
         # Interval-driven reconfiguration controller, if the technique has
         # one: ESTEEM (selective-ways) or the selective-sets baseline.
         self.esteem: EsteemController | SelectiveSetsController | None = None
         if technique in ("esteem", "esteem-drowsy"):
-            self.esteem = EsteemController(self.l2, config.esteem, self.memory)
+            self.esteem = EsteemController(
+                self.l2, config.esteem, self.memory, tracer=self.tracer
+            )
         elif technique == "selective-sets":
             self.esteem = SelectiveSetsController(
                 self.l2, config.esteem, self.memory
@@ -169,7 +195,7 @@ class System:
                 mem_leakage_w=params.mem_leakage_w,
                 transition_j=params.transition_j,
             )
-        self.energy = EnergyAccumulator(params)
+        self.energy = EnergyAccumulator(params, registry=self.metrics)
         self.tracker = IntervalTracker()
         self.prefill_fraction = self._prefill_cache()
 
@@ -254,6 +280,16 @@ class System:
 
     def run(self) -> SystemResult:
         """Simulate until every core finishes its first trace pass."""
+        if self.profiler is not None:
+            with self.profiler.span(
+                f"system.run:{self.workload}:{self.technique}",
+                workload=self.workload,
+                technique=self.technique,
+            ):
+                return self._run()
+        return self._run()
+
+    def _run(self) -> SystemResult:
         cfg = self.config
         cores = [
             CoreState(i, trace, i << _CORE_OFFSET_SHIFT)
@@ -267,6 +303,18 @@ class System:
         next_interval = interval_cycles
         single = len(cores) == 1
         core0 = cores[0]
+        if self.tracer is not None:
+            self.tracer.emit(
+                EVENT_SIM_START,
+                0,
+                workload=self.workload,
+                technique=self.technique,
+                cores=len(cores),
+                interval_cycles=interval_cycles,
+                retention_cycles=cfg.refresh.retention_cycles,
+                l2_bytes=cfg.l2.size_bytes,
+                prefill_fraction=self.prefill_fraction,
+            )
 
         while True:
             if single:
@@ -293,6 +341,35 @@ class System:
         end_cycle = max(c.cycles for c in cores)
         engine.advance_to(int(end_cycle))
         self._close_interval(end_cycle, final=True)
+
+        if self.tracer is not None:
+            self.tracer.emit(
+                EVENT_SIM_END,
+                end_cycle,
+                workload=self.workload,
+                technique=self.technique,
+                instructions=sum(c.instructions for c in cores),
+                l2_hits=l2.stats.hits,
+                l2_misses=l2.stats.misses,
+                refreshes=engine.total_refreshes,
+                mem_reads=memory.reads,
+                mem_writes=memory.writes,
+                intervals=self.energy.intervals,
+                total_energy_j=self.energy.totals.total_j,
+            )
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("sim.runs").inc()
+            m.counter("sim.cycles").inc(end_cycle)
+            m.counter("sim.instructions").inc(
+                sum(c.instructions for c in cores)
+            )
+            m.counter("l2.hits").inc(l2.stats.hits)
+            m.counter("l2.misses").inc(l2.stats.misses)
+            m.counter("l2.writebacks").inc(l2.stats.writebacks)
+            m.counter("refresh.lines").inc(engine.total_refreshes)
+            m.counter("mem.reads").inc(memory.reads)
+            m.counter("mem.writes").inc(memory.writes)
 
         return SystemResult(
             technique=self.technique,
@@ -351,7 +428,22 @@ class System:
         if not hit:
             # The exposed miss penalty is divided by the workload's
             # memory-level parallelism (overlapped outstanding misses).
-            latency += self.memory.read(now) / core.mem_mlp
+            if self.tracer is not None:
+                wait_before = self.memory.total_queue_wait
+                read_latency = self.memory.read(now)
+                queue_wait = self.memory.total_queue_wait - wait_before
+                if queue_wait > 0:
+                    # The MSHR/memory-queue analogue: a demand miss that
+                    # found the channel busy and had to wait in line.
+                    self.tracer.emit(
+                        EVENT_MSHR_STALL,
+                        now,
+                        core=core.core_id,
+                        wait_cycles=queue_wait,
+                    )
+                latency += read_latency / core.mem_mlp
+            else:
+                latency += self.memory.read(now) / core.mem_mlp
         return latency
 
     def _close_interval(self, boundary_cycle: float, final: bool = False) -> None:
@@ -384,17 +476,31 @@ class System:
         )
         if deltas.cycles <= 0 and deltas.l2_hits == 0 and deltas.l2_misses == 0:
             return
-        self.energy.add_interval(
-            IntervalEnergyInputs(
-                seconds=deltas.cycles / self.config.frequency_hz,
+        inputs = IntervalEnergyInputs(
+            seconds=deltas.cycles / self.config.frequency_hz,
+            l2_hits=deltas.l2_hits,
+            l2_misses=deltas.l2_misses,
+            refreshes=deltas.refreshes,
+            mem_accesses=deltas.mem_accesses,
+            active_fraction=fa_during,
+            transitions=transitions,
+        )
+        breakdown = self.energy.add_interval(inputs)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EVENT_INTERVAL_ENERGY,
+                boundary_cycle,
+                interval=self.energy.intervals - 1,
+                final=final,
+                cycles=deltas.cycles,
                 l2_hits=deltas.l2_hits,
                 l2_misses=deltas.l2_misses,
                 refreshes=deltas.refreshes,
                 mem_accesses=deltas.mem_accesses,
                 active_fraction=fa_during,
                 transitions=transitions,
+                energy_j=breakdown.total_j,
             )
-        )
 
 
 def _core_cycles(core: CoreState) -> float:

@@ -1,10 +1,13 @@
 """Tests for process-parallel experiment execution."""
 
+import io
+
 import pytest
 
 from repro.config import SimConfig
-from repro.experiments.parallel import parallel_compare
+from repro.experiments.parallel import ParallelWorkerError, parallel_compare
 from repro.experiments.runner import Runner
+from repro.obs import ProgressReporter
 
 WORKLOADS = ["gamess", "povray", "hmmer"]
 CFG_KW = dict(instructions_per_core=400_000)
@@ -40,3 +43,60 @@ class TestParallelCompare:
     def test_empty_techniques_rejected(self):
         with pytest.raises(ValueError):
             parallel_compare(SimConfig.scaled(**CFG_KW), ["gamess"], ())
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be at least 1"):
+            parallel_compare(
+                SimConfig.scaled(**CFG_KW), ["gamess"], ("esteem",), jobs=0
+            )
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError, match="jobs must be at least 1"):
+            parallel_compare(
+                SimConfig.scaled(**CFG_KW), ["gamess"], ("esteem",), jobs=-4
+            )
+
+
+class TestWorkerFailures:
+    def test_failure_names_the_workload_inline(self):
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_compare(
+                SimConfig.scaled(**CFG_KW),
+                ["gamess", "no-such-benchmark"],
+                ("esteem",),
+                jobs=1,
+            )
+        assert excinfo.value.workload == "no-such-benchmark"
+        assert "no-such-benchmark" in str(excinfo.value)
+
+    def test_failure_names_the_workload_across_processes(self):
+        with pytest.raises(ParallelWorkerError) as excinfo:
+            parallel_compare(
+                SimConfig.scaled(**CFG_KW),
+                ["gamess", "no-such-benchmark"],
+                ("esteem",),
+                jobs=2,
+            )
+        assert excinfo.value.workload == "no-such-benchmark"
+        # The worker-side traceback crossed the process boundary as text.
+        assert excinfo.value.detail
+
+
+class TestProgress:
+    def test_progress_reporter_sees_every_workload(self):
+        sink = io.StringIO()
+        reporter = ProgressReporter(0, label="test-sweep", stream=sink)
+        parallel_compare(
+            SimConfig.scaled(**CFG_KW), WORKLOADS, ("esteem",),
+            jobs=2, progress=reporter,
+        )
+        out = sink.getvalue()
+        for workload in WORKLOADS:
+            assert workload in out
+        assert f"finished {len(WORKLOADS)}/{len(WORKLOADS)}" in out
+
+    def test_progress_off_by_default(self, capsys):
+        parallel_compare(
+            SimConfig.scaled(**CFG_KW), ["gamess"], ("esteem",), jobs=1
+        )
+        assert capsys.readouterr().err == ""

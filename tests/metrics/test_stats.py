@@ -27,6 +27,40 @@ class TestDeltas:
             t.take(500.0, 0, 0, 0, 0, 1.0)
 
 
+class TestMonotonicContract:
+    """Regressing totals must raise a ValueError naming the counter."""
+
+    def test_l2_hits_regression_rejected(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 10, 0, 12, 1.0)
+        with pytest.raises(ValueError, match="'l2_hits'"):
+            t.take(2_000.0, 40, 10, 0, 12, 1.0)
+
+    def test_l2_misses_regression_rejected(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 10, 0, 12, 1.0)
+        with pytest.raises(ValueError, match="'l2_misses'"):
+            t.take(2_000.0, 50, 9, 0, 12, 1.0)
+
+    def test_mem_accesses_regression_rejected(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 10, 0, 12, 1.0)
+        with pytest.raises(ValueError, match="'mem_accesses'"):
+            t.take(2_000.0, 50, 10, 0, 11, 1.0)
+
+    def test_error_carries_both_values(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 0, 0, 0, 1.0)
+        with pytest.raises(ValueError, match="40 < previous snapshot 50"):
+            t.take(2_000.0, 40, 0, 0, 0, 1.0)
+
+    def test_flat_totals_allowed(self):
+        t = IntervalTracker()
+        t.take(1_000.0, 50, 10, 0, 12, 1.0)
+        d = t.take(2_000.0, 50, 10, 0, 12, 1.0)
+        assert (d.l2_hits, d.l2_misses, d.mem_accesses) == (0, 0, 0)
+
+
 class TestActiveRatio:
     def test_default_when_no_intervals(self):
         assert IntervalTracker().mean_active_fraction == 1.0

@@ -1,0 +1,112 @@
+"""Integration: the simulation stack feeding the observability layer."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import Runner
+from repro.obs import (
+    EVENT_INTERVAL_DECISION,
+    EVENT_INTERVAL_ENERGY,
+    EVENT_REFRESH_BURST,
+    EVENT_SIM_END,
+    EVENT_SIM_START,
+    MetricsRegistry,
+    Profiler,
+    Tracer,
+)
+from repro.timing.system import System
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+
+CFG = SimConfig.scaled(instructions_per_core=600_000)
+
+
+def _run(technique="esteem", tracer=None, metrics=None, profiler=None):
+    trace = generate_trace(get_profile("h264ref"), CFG.instructions_per_core, seed=0)
+    system = System(
+        CFG, [trace], technique, tracer=tracer, metrics=metrics, profiler=profiler
+    )
+    return system.run()
+
+
+class TestTracing:
+    def test_one_decision_event_per_timeline_entry(self):
+        tracer = Tracer()
+        result = _run(tracer=tracer)
+        decisions = tracer.events(EVENT_INTERVAL_DECISION)
+        assert len(decisions) == len(result.timeline)
+        for event, record in zip(decisions, result.timeline):
+            assert event.data["interval"] == record.interval_index
+            assert event.cycle == record.cycle
+            assert tuple(event.data["n_active_way"]) == record.n_active_way
+            assert event.data["active_fraction"] == pytest.approx(
+                record.active_fraction
+            )
+
+    def test_run_is_bracketed_by_start_and_end(self):
+        tracer = Tracer()
+        result = _run(tracer=tracer)
+        (start,) = tracer.events(EVENT_SIM_START)
+        (end,) = tracer.events(EVENT_SIM_END)
+        assert start.data["technique"] == "esteem"
+        assert end.data["instructions"] == result.total_instructions
+        assert end.data["refreshes"] == result.refreshes
+
+    def test_refresh_bursts_sum_to_total_refreshes(self):
+        tracer = Tracer()
+        result = _run(technique="baseline", tracer=tracer)
+        bursts = tracer.events(EVENT_REFRESH_BURST)
+        assert bursts, "baseline must refresh"
+        assert sum(e.data["lines"] for e in bursts) == result.refreshes
+
+    def test_interval_energy_events_match_interval_count(self):
+        tracer = Tracer()
+        result = _run(tracer=tracer)
+        energy = tracer.events(EVENT_INTERVAL_ENERGY)
+        assert len(energy) == result.intervals
+
+    def test_tracing_does_not_perturb_results(self):
+        plain = _run()
+        traced = _run(tracer=Tracer(), metrics=MetricsRegistry())
+        assert traced.total_cycles == plain.total_cycles
+        assert traced.l2_hits == plain.l2_hits
+        assert traced.l2_misses == plain.l2_misses
+        assert traced.refreshes == plain.refreshes
+        assert traced.energy.total_j == pytest.approx(plain.energy.total_j)
+
+    def test_disabled_tracer_normalised_to_none(self):
+        from repro.obs import NULL_TRACER
+
+        trace = generate_trace(get_profile("gamess"), 300_000, seed=0)
+        system = System(CFG, [trace], "esteem", tracer=NULL_TRACER)
+        assert system.tracer is None
+        assert system.engine.tracer is None
+
+
+class TestMetrics:
+    def test_run_counters_recorded(self):
+        reg = MetricsRegistry()
+        result = _run(metrics=reg)
+        snap = reg.snapshot()
+        assert snap["sim.runs"]["value"] == 1
+        assert snap["l2.misses"]["value"] == result.l2_misses
+        assert snap["refresh.lines"]["value"] == result.refreshes
+        assert snap["energy.intervals"]["value"] == result.intervals
+        assert snap["energy.total_j"]["value"] == pytest.approx(
+            result.energy.total_j
+        )
+
+
+class TestProfiling:
+    def test_runner_records_spans(self):
+        prof = Profiler()
+        runner = Runner(
+            SimConfig.scaled(instructions_per_core=300_000),
+            seed=3,
+            profiler=prof,
+        )
+        runner.compare("gamess", "esteem")
+        names = [s.name for s in prof.spans]
+        assert any(n.startswith("trace.generate:gamess") for n in names)
+        assert "system.run:gamess:esteem" in names
+        assert "system.run:gamess:baseline" in names

@@ -1,0 +1,91 @@
+"""Unit tests for profiling spans and progress reporting."""
+
+import io
+import time
+
+import pytest
+
+from repro.obs.profile import Profiler, ProgressReporter, format_seconds
+
+
+class TestSpans:
+    def test_span_records_wall_and_cpu_time(self):
+        prof = Profiler()
+        with prof.span("work", detail=1) as span:
+            time.sleep(0.01)
+        assert span.closed
+        assert span.wall_s >= 0.009
+        assert span.cpu_s >= 0.0
+        assert prof.spans == [span]
+        assert span.meta == {"detail": 1}
+
+    def test_disabled_profiler_records_nothing(self):
+        prof = Profiler(enabled=False)
+        with prof.span("work"):
+            pass
+        assert prof.spans == []
+
+    def test_nested_spans(self):
+        prof = Profiler()
+        with prof.span("outer"):
+            with prof.span("inner"):
+                pass
+        # Inner closes first.
+        assert [s.name for s in prof.spans] == ["inner", "outer"]
+
+    def test_summary_and_report(self):
+        prof = Profiler()
+        with prof.span("alpha"):
+            pass
+        text = prof.summary()
+        assert "alpha" in text
+        assert "wall" in text
+        sink = io.StringIO()
+        prof.report(sink)
+        assert "alpha" in sink.getvalue()
+
+    def test_empty_summary(self):
+        assert "no spans" in Profiler().summary()
+
+    def test_total_wall(self):
+        prof = Profiler()
+        with prof.span("a"):
+            pass
+        assert prof.total_wall_s() == pytest.approx(
+            prof.spans[0].wall_s
+        )
+
+
+class TestProgressReporter:
+    def test_progress_lines_with_eta(self):
+        sink = io.StringIO()
+        rep = ProgressReporter(3, label="sweep", stream=sink)
+        rep.advance("gamess", 0.5)
+        rep.advance("povray")
+        rep.finish()
+        out = sink.getvalue()
+        assert "[1/3] gamess done in 500ms" in out
+        assert "[2/3] povray done," in out
+        assert "ETA" in out
+        assert "finished 2/3" in out
+
+    def test_disabled_reporter_is_silent(self):
+        sink = io.StringIO()
+        rep = ProgressReporter(2, stream=sink, enabled=False)
+        rep.advance("x")
+        rep.finish()
+        assert sink.getvalue() == ""
+        assert rep.done == 1
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(-1)
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(0.95) == "950ms"
+        assert format_seconds(12.34) == "12.34s"
+        assert format_seconds(250) == "4m10s"
+        assert format_seconds(3700) == "1h01m"
+        assert format_seconds(-2) == "-2.00s"

@@ -130,3 +130,64 @@ class TestCommands:
         out = capsys.readouterr().out
         for tech in ("esteem-drowsy", "decay", "ecc"):
             assert tech in out
+
+    def test_trace_jsonl_shape(self, capsys):
+        import json
+
+        code = main(
+            ["trace", "-w", "gamess", "-t", "esteem",
+             "--instructions", "2000000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        events = [json.loads(ln) for ln in captured.out.splitlines()]
+        assert events, "expected at least one event"
+        for event in events:
+            assert set(event) == {"seq", "type", "cycle", "data"}
+        types = {e["type"] for e in events}
+        assert "sim.start" in types
+        assert "sim.end" in types
+        assert "interval.decision" in types
+        assert "refresh.burst" in types
+        decisions = [e for e in events if e["type"] == "interval.decision"]
+        for d in decisions:
+            assert isinstance(d["data"]["n_active_way"], list)
+            assert 0.0 <= d["data"]["active_fraction"] <= 1.0
+        # Summary line lands on stderr, not stdout.
+        assert "trace:" in captured.err
+
+    def test_trace_pretty_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.txt"
+        code = main(
+            ["trace", "-w", "gamess", "--format", "pretty",
+             "--output", str(out_path), "--instructions", "1000000"]
+        )
+        assert code == 0
+        text = out_path.read_text()
+        assert "interval.decision" in text
+        assert capsys.readouterr().out == ""
+
+    def test_trace_quiet_suppresses_stderr(self, capsys):
+        code = main(
+            ["trace", "-w", "gamess", "-q", "--instructions", "1000000"]
+        )
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_run_profile_reports_spans(self, capsys):
+        code = main(
+            ["run", "-w", "gamess", "-t", "esteem", "--profile",
+             "--instructions", "300000"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "system.run:gamess:esteem" in err
+
+    def test_table3_progress_on_stderr(self, capsys):
+        code = main(
+            ["table", "3", "--system", "single",
+             "--workloads", "gamess", "--instructions", "300000"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "table3-single" in err and "ETA" in err
