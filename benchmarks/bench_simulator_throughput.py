@@ -66,3 +66,22 @@ def bench_end_to_end_simulation_rate(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     benchmark.extra_info["instructions"] = result.total_instructions
     benchmark.extra_info["l2_accesses"] = result.l2_hits + result.l2_misses
+
+
+def bench_reference_loop_rate(benchmark):
+    """The retained straight-line loop, for the fast-path speedup ratio.
+
+    ``bench_end_to_end_simulation_rate / bench_reference_loop_rate`` is a
+    machine-independent measure of what the event-horizon chunking buys
+    (both run in the same process, same thermal envelope).
+    """
+    cfg = SimConfig.scaled(instructions_per_core=1_500_000)
+    trace = generate_trace(
+        get_profile("sphinx"), cfg.instructions_per_core, seed=0
+    )
+
+    def run():
+        return System(cfg, [trace], "esteem", reference_loop=True).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["instructions"] = result.total_instructions

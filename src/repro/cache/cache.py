@@ -13,9 +13,12 @@ controller change the number of active sets (``active_set_mask``) without
 re-interpreting every stored tag.
 
 The hot path (:meth:`SetAssociativeCache.access`) is written as straight-line
-Python over lists -- per the profiling-first guidance, the per-access budget
-is ~1-2 us and attribute lookups / function calls are the dominant cost, so
-locals are bound once and the per-set state is manipulated in place.
+Python -- per the profiling-first guidance, the per-access budget is ~1-2 us
+and attribute lookups / function calls are the dominant cost, so locals are
+bound once and the per-set state is manipulated in place.  Lookup is O(1):
+each set maintains a ``tag -> way`` dict alongside the ``tags`` list (the
+list remains the canonical way-indexed view; the dict is the index), so the
+hit path costs one dict probe instead of a linear ``tags.index`` scan.
 """
 
 from __future__ import annotations
@@ -152,15 +155,12 @@ class SetAssociativeCache:
         stats = self.stats
         cset = self.sets[line_addr & self.active_set_mask]
         tags = cset.tags
+        tag_map = cset.tag_map
         order = cset.order
         state = self.state
         a = self.associativity
-        set_base = cset.index * a
 
-        try:
-            way = tags.index(line_addr)
-        except ValueError:
-            way = -1
+        way = tag_map.get(line_addr, -1)
 
         if way >= 0:
             # Hit: promote to MRU, record recency position.  A hit in a
@@ -168,13 +168,15 @@ class SetAssociativeCache:
             if way >= cset.n_active and not cset.is_leader:
                 stats.drowsy_hits += 1
                 self.drowsy_flag = True
-            pos = order.index(way)
-            if pos:
+            if order[0] == way:
+                pos = 0
+            else:
+                pos = order.index(way)
                 del order[pos]
                 order.insert(0, way)
             stats.hits += 1
             stats.hits_by_position[pos] += 1
-            g = set_base + way
+            g = cset.base + way
             if is_write:
                 state.dirty[g] = True
                 if self.write_counts is not None:
@@ -185,36 +187,61 @@ class SetAssociativeCache:
                 hist[self.module_of_set[cset.index]][pos] += 1
             return (True, pos, -1)
 
-        # Miss: pick a victim among the enabled ways.
+        # Miss: pick a victim among the enabled ways.  ``len(tag_map)``
+        # counts every resident line, so a full set (the steady state)
+        # skips the invalid-way scan entirely and evicts the recency tail.
         stats.misses += 1
         n = cset.n_active
-        victim = -1
-        for w in range(n):
-            if tags[w] is None:
-                victim = w
-                break
+        need_promote = True
+        if n == a:
+            if len(tag_map) == a:
+                # Full set: the victim is the LRU tail; its recency
+                # position is known, so promote without a scan.
+                victim = order[-1]
+                del order[-1]
+                order.insert(0, victim)
+                need_promote = False
+            else:
+                victim = tags.index(None)
+        else:
+            head = tags[:n]
+            if None in head:
+                victim = head.index(None)
+            else:
+                victim = -1
+                for w in reversed(order):
+                    if w < n:
+                        victim = w
+                        break
         if victim < 0:
-            for w in reversed(order):
-                if w < n:
-                    victim = w
-                    break
-        g = set_base + victim
+            # No enabled way can accept the fill (n_active == 0 and no
+            # invalid way): silently using ``-1`` would corrupt the
+            # neighbouring set's last line via ``cset.base - 1``.
+            raise RuntimeError(
+                f"{self.name}: set {cset.index} has no enabled way to fill "
+                f"(n_active={n}, associativity={a})"
+            )
+        g = cset.base + victim
         wb_addr = -1
         old_tag = tags[victim]
-        if old_tag is not None and state.dirty[g]:
-            wb_addr = old_tag
-            stats.writebacks += 1
+        if old_tag is not None:
+            del tag_map[old_tag]
+            if state.dirty[g]:
+                wb_addr = old_tag
+                stats.writebacks += 1
         # Fill.
         tags[victim] = line_addr
+        tag_map[line_addr] = victim
         state.valid[g] = True
         state.dirty[g] = is_write
         if is_write and self.write_counts is not None:
             self.write_counts[g] += 1
         state.last_window[g] = window
-        pos = order.index(victim)
-        if pos:
-            del order[pos]
-            order.insert(0, victim)
+        if need_promote:
+            pos = order.index(victim)
+            if pos:
+                del order[pos]
+                order.insert(0, victim)
         return (False, -1, wb_addr)
 
     # ------------------------------------------------------------------
@@ -231,14 +258,13 @@ class SetAssociativeCache:
     def contains(self, line_addr: int) -> bool:
         """Whether the line is resident (no LRU update)."""
         cset = self.sets[line_addr & self.active_set_mask]
-        return line_addr in cset.tags
+        return line_addr in cset.tag_map
 
     def probe_position(self, line_addr: int) -> int:
         """Recency position of a resident line without promoting it; -1 if absent."""
         cset = self.sets[line_addr & self.active_set_mask]
-        try:
-            way = cset.tags.index(line_addr)
-        except ValueError:
+        way = cset.tag_map.get(line_addr, -1)
+        if way < 0:
             return -1
         return cset.order.index(way)
 
@@ -247,12 +273,91 @@ class SetAssociativeCache:
         for cset in self.sets:
             for way in range(self.associativity):
                 cset.tags[way] = None
+            cset.tag_map.clear()
         self.state.valid[:] = False
         self.state.dirty[:] = False
         self.state.last_window[:] = -1
 
     def leader_sets(self) -> list[int]:
         return [c.index for c in self.sets if c.is_leader]
+
+    # ------------------------------------------------------------------
+    # Warm-image snapshot / restore (fast construction path)
+    # ------------------------------------------------------------------
+
+    def snapshot_image(self) -> tuple:
+        """Capture resident lines + line state for :meth:`from_image`.
+
+        Only meaningful for a cache in its post-construction steady state
+        (all ways active, untouched LRU order, no profiling hooks): the
+        image stores just the per-set tag state and the line-state
+        arrays, which is everything a freshly prefilled cache has.
+        """
+        state = self.state
+        return (
+            [cset.tags.copy() for cset in self.sets],
+            [cset.tag_map.copy() for cset in self.sets],
+            state.valid.copy(),
+            state.dirty.copy(),
+            state.last_window.copy(),
+        )
+
+    @classmethod
+    def from_image(
+        cls,
+        geometry: CacheGeometry,
+        image: tuple,
+        name: str = "cache",
+    ) -> "SetAssociativeCache":
+        """Rebuild a cache from :meth:`snapshot_image` output.
+
+        Cloning per-set lists/dicts is several times cheaper than
+        re-running construction plus prefill, which matters when a sweep
+        builds many systems over the same geometry.  The clone shares
+        nothing mutable with the image.
+        """
+        self = cls.__new__(cls)
+        self.geometry = geometry
+        self.name = name
+        s = geometry.num_sets
+        a = geometry.associativity
+        self.num_sets = s
+        self.associativity = a
+        self.set_mask = s - 1
+        self.active_set_mask = s - 1
+        self.set_bits = geometry.set_index_bits
+        tags_rows, maps, valid, dirty, last_window = image
+        order_proto = list(range(a))
+        proto_copy = order_proto.copy
+        sets = []
+        append = sets.append
+        new_set = CacheSet.__new__
+        base = 0
+        index = 0
+        for row, tag_map in zip(tags_rows, maps):
+            cset = new_set(CacheSet)
+            cset.index = index
+            cset.base = base
+            cset.tags = row.copy()
+            cset.tag_map = tag_map.copy()
+            cset.order = proto_copy()
+            cset.n_active = a
+            cset.is_leader = False
+            append(cset)
+            index += 1
+            base += a
+        self.sets = sets
+        state = LineState(s, a)
+        state.valid = valid.copy()
+        state.dirty = dirty.copy()
+        state.last_window = last_window.copy()
+        self.state = state
+        self.stats = CacheStats(hits_by_position=[0] * a)
+        self.module_of_set = None
+        self.profile_hist = None
+        self.write_counts = None
+        self.drowsy_flag = False
+        return self
 
     def check_invariants(self) -> None:
         """Full-state consistency check (used by property tests)."""

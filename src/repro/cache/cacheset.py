@@ -1,4 +1,4 @@
-"""One cache set: tags, recency order, and the per-way enable count.
+"""One cache set: tags, recency order, tag->way map, and the enable count.
 
 Hot-path note (see the optimisation guide): :meth:`SetAssociativeCache.access
 <repro.cache.cache.SetAssociativeCache.access>` manipulates the public list
@@ -6,6 +6,12 @@ attributes of this class directly instead of going through method calls --
 the per-access cost budget is a couple of microseconds and Python call
 overhead would dominate.  The methods here implement the *cold* paths
 (fills, flushes, invariant checks) and give tests a tidy interface.
+
+Every mutation of ``tags`` must keep ``tag_map`` (the O(1) lookup index)
+in sync; the cold-path helpers below do so, and the handful of hot/cold
+paths that write ``tags[way]`` directly (cache fill, reconfiguration
+shrink, refresh-engine invalidations, prefill) update both structures in
+place.  :meth:`check_invariants` asserts the mirror stays exact.
 """
 
 from __future__ import annotations
@@ -25,6 +31,11 @@ class CacheSet:
         way holds no valid line.  ``tags[way] is None`` is the canonical
         validity test on the scalar path; the NumPy ``LineState.valid``
         array mirrors it for the vectorised refresh path.
+    tag_map:
+        ``tag_map[tag] -> way`` for every non-``None`` entry of ``tags``.
+        This is the O(1) lookup index the hot path probes instead of a
+        linear ``tags.index`` scan; a set never holds the same tag twice,
+        so the mapping is exact.
     order:
         Way indices in recency order, most-recently-used first.
     n_active:
@@ -34,11 +45,24 @@ class CacheSet:
         True when this set is a profiling (leader) set of the embedded ATD.
     """
 
-    __slots__ = ("index", "tags", "order", "n_active", "is_leader")
+    __slots__ = (
+        "index",
+        "base",
+        "tags",
+        "tag_map",
+        "order",
+        "n_active",
+        "is_leader",
+    )
 
     def __init__(self, index: int, associativity: int, is_leader: bool = False) -> None:
         self.index = index
+        #: First global line index of this set (``index * associativity``);
+        #: precomputed so the hot path indexes the flat state arrays with
+        #: one add instead of a multiply-add.
+        self.base = index * associativity
         self.tags: list[int | None] = [None] * associativity
+        self.tag_map: dict[int, int] = {}
         self.order: list[int] = list(range(associativity))
         self.n_active = associativity
         self.is_leader = is_leader
@@ -49,10 +73,7 @@ class CacheSet:
 
     def find(self, tag: int) -> int:
         """Way holding ``tag``, or ``-1``."""
-        try:
-            return self.tags.index(tag)
-        except ValueError:
-            return -1
+        return self.tag_map.get(tag, -1)
 
     def victim_way(self) -> int:
         """Pick the fill victim among the enabled ways.
@@ -70,6 +91,22 @@ class CacheSet:
                 return way
         raise RuntimeError("set has no enabled way")  # pragma: no cover
 
+    def install(self, way: int, tag: int) -> None:
+        """Place ``tag`` into ``way`` (cold-path fill; keeps the map)."""
+        old = self.tags[way]
+        if old is not None:
+            del self.tag_map[old]
+        self.tags[way] = tag
+        self.tag_map[tag] = way
+
+    def drop_way(self, way: int) -> int | None:
+        """Clear ``way``'s tag (map kept in sync); returns the old tag."""
+        tag = self.tags[way]
+        if tag is not None:
+            del self.tag_map[tag]
+            self.tags[way] = None
+        return tag
+
     def flush_way(self, way: int, state: LineState) -> tuple[int | None, bool]:
         """Invalidate ``way``; returns ``(evicted_tag, was_dirty)``.
 
@@ -84,6 +121,7 @@ class CacheSet:
         state.valid[g] = False
         state.dirty[g] = False
         self.tags[way] = None
+        del self.tag_map[tag]
         return tag, was_dirty
 
     def resident_tags(self) -> list[int]:
@@ -95,6 +133,9 @@ class CacheSet:
         a = len(self.tags)
         assert sorted(self.order) == list(range(a)), "order must be a permutation"
         assert 1 <= self.n_active <= a, "active way count out of range"
+        assert self.tag_map == {
+            tag: way for way, tag in enumerate(self.tags) if tag is not None
+        }, f"tag_map out of sync at set {self.index}"
         for way, tag in enumerate(self.tags):
             g = state.gidx(self.index, way)
             assert (tag is not None) == bool(

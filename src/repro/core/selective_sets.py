@@ -144,6 +144,7 @@ class SelectiveSetsController:
             tags = cset.tags
             for way in range(len(tags)):
                 tags[way] = None
+            cset.tag_map.clear()
         state.valid[:] = False
         state.dirty[:] = False
         state.last_window[:] = -1

@@ -102,7 +102,7 @@ class CacheDecayRefresh(RefreshEngine):
             self.decay_writebacks += n_dirty
             self._delta_writebacks += n_dirty
             for g in np.nonzero(expired)[0]:
-                sets[g // a].tags[g % a] = None
+                sets[g // a].drop_way(g % a)
             state.valid[expired] = False
             state.dirty[expired] = False
             state.last_window[expired] = -1

@@ -131,7 +131,7 @@ class EccExtendedRefresh(RefreshEngine):
                         self.data_loss_events += 1
                     else:
                         self.corruption_invalidations += 1
-                    sets[g // a].tags[g % a] = None
+                    sets[g // a].drop_way(g % a)
                     state.valid[g] = False
                     state.dirty[g] = False
                     state.last_window[g] = -1

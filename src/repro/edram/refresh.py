@@ -113,6 +113,16 @@ class RefreshEngine(ABC):
             nb += window
         self._next_boundary = nb
 
+    @property
+    def next_boundary(self) -> int:
+        """First cycle at which :meth:`advance_to` would do any work.
+
+        The chunked fast loop uses this as one input to its event horizon:
+        strictly before this cycle, ``advance_to`` is a guaranteed no-op
+        and ``current_stall`` cannot change.
+        """
+        return self._next_boundary
+
     def access_stall(self) -> float:
         """Expected refresh-collision stall for a demand access arriving now."""
         return self.current_stall

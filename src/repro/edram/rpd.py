@@ -71,7 +71,7 @@ class RefrintPolyphaseDirty(RefreshEngine):
             a = self.cache.associativity
             sets = self.cache.sets
             for g in np.nonzero(clean_due)[0]:
-                sets[g // a].tags[g % a] = None
+                sets[g // a].drop_way(g % a)
             state.valid[clean_due] = False
             state.last_window[clean_due] = -1
             self.invalidations += int(np.count_nonzero(clean_due))

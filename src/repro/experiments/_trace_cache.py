@@ -19,7 +19,7 @@ from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import Trace
 
-__all__ = ["get_trace", "clear"]
+__all__ = ["get_trace", "put", "clear"]
 
 _CACHE: dict[tuple[str, int, int], Trace] = {}
 
@@ -56,6 +56,19 @@ def get_trace(
 
 #: Generation-time histogram buckets (seconds).
 _GEN_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0)
+
+
+def put(
+    profile_name: str, max_instructions: int, seed: int, trace: Trace
+) -> None:
+    """Seed the cache with an externally built trace.
+
+    ``parallel_compare`` workers receive the parent's already-generated
+    traces over the pickle path and install them here, so a worker never
+    regenerates a trace the parent (or an earlier sweep) has built.
+    Counts as neither a hit nor a miss.
+    """
+    _CACHE[(profile_name, max_instructions, seed)] = trace
 
 
 def clear() -> None:

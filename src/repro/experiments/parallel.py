@@ -30,8 +30,12 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Iterable, Sequence
 
 from repro.config import SimConfig
+from repro.experiments import _trace_cache
 from repro.experiments.runner import RunComparison, Runner
 from repro.obs.profile import Profiler, ProgressReporter
+from repro.workloads.multiprog import get_mix
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import Trace
 
 __all__ = ["ParallelWorkerError", "parallel_compare"]
 
@@ -53,16 +57,34 @@ class ParallelWorkerError(RuntimeError):
         return f"sweep worker failed on workload {self.workload!r}: {self.detail}"
 
 
+def _trace_needs_for(config: SimConfig, workload: str, seed: int) -> list[tuple]:
+    """``(cache_key, profile)`` pairs a workload's unit will ask for
+    (mirrors :meth:`Runner.traces_for`)."""
+    budget = config.instructions_per_core
+    if config.num_cores == 1:
+        profiles = [get_profile(workload)]
+    else:
+        profiles = list(get_mix(workload).profiles)
+    return [((p.name, budget, seed), p) for p in profiles]
+
+
 def _workload_task(
-    args: tuple[SimConfig, str, tuple[str, ...], int],
+    args: tuple[
+        SimConfig, str, tuple[str, ...], int, dict[tuple[str, int, int], Trace]
+    ],
 ) -> tuple[list[RunComparison], float]:
     """Worker: all techniques for one workload (module-level: picklable).
 
-    Returns the comparisons plus the unit's wall time; failures are
-    re-raised as :class:`ParallelWorkerError` so the parent knows which
-    workload died.
+    ``preloaded`` carries the parent's already-generated traces for this
+    workload (the NumPy columns ride the pickle path; list/record caches
+    are rebuilt lazily worker-side) -- the worker seeds its trace cache
+    with them instead of regenerating.  Returns the comparisons plus the
+    unit's wall time; failures are re-raised as
+    :class:`ParallelWorkerError` so the parent knows which workload died.
     """
-    config, workload, techniques, seed = args
+    config, workload, techniques, seed, preloaded = args
+    for (name, budget, trace_seed), trace in preloaded.items():
+        _trace_cache.put(name, budget, trace_seed, trace)
     profiler = Profiler()
     try:
         with profiler.span(f"worker:{workload}") as span:
@@ -115,7 +137,21 @@ def parallel_compare(
             len(workload_list), label="sweep", enabled=bool(progress)
         )
 
-    tasks = [(config, w, technique_tuple, seed) for w in workload_list]
+    # Generate each needed trace exactly once in the parent (memoised
+    # process-wide, so repeated sweeps pay nothing) and ship the arrays
+    # to the workers instead of regenerating them per worker.  Best
+    # effort: an unresolvable workload ships nothing, so the worker hits
+    # the same error itself and reports it as ParallelWorkerError.
+    tasks = []
+    for w in workload_list:
+        try:
+            preloaded = {
+                key: _trace_cache.get_trace(profile, key[1], key[2])
+                for key, profile in _trace_needs_for(config, w, seed)
+            }
+        except Exception:
+            preloaded = {}
+        tasks.append((config, w, technique_tuple, seed, preloaded))
     results: list[list[RunComparison] | None] = [None] * len(tasks)
     if jobs == 1:
         for i, task in enumerate(tasks):

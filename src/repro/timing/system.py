@@ -18,7 +18,10 @@ Methodology notes straight from the paper (Section 6.4):
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config import SimConfig
@@ -76,6 +79,13 @@ TECHNIQUES: tuple[str, ...] = (
 #: Per-core address-space offset bit (keeps multiprogrammed address spaces
 #: disjoint without disturbing set indexing).
 _CORE_OFFSET_SHIFT = 40
+
+#: Warmed-L2 images keyed by (geometry, phases, footprint): building and
+#: prefilling a 4 MB cache costs ~20 ms, cloning an image a couple; sweeps
+#: and repeated runs construct many systems over identical inputs.  Bounded
+#: LRU so a long multi-workload sweep cannot grow it without limit.
+_L2_IMAGE_CACHE: dict[tuple, tuple[tuple, float]] = {}
+_L2_IMAGE_CACHE_MAX = 8
 
 
 @dataclass
@@ -144,6 +154,7 @@ class System:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         profiler: Profiler | None = None,
+        reference_loop: bool = False,
     ) -> None:
         if technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {technique!r}; use one of {TECHNIQUES}")
@@ -167,8 +178,12 @@ class System:
         self.profiler = (
             profiler if profiler is not None and profiler.enabled else None
         )
+        #: When True, :meth:`run` uses the straight-line per-record
+        #: reference loop instead of the chunked fast path.  The golden
+        #: equivalence tests run both and assert identical results.
+        self.reference_loop = reference_loop
 
-        self.l2 = SetAssociativeCache(config.l2, name="L2")
+        self.l2, self.prefill_fraction = self._build_prefilled_l2()
         self.memory = MainMemory(config.memory)
         self.engine = self._build_engine()
         self.engine.tracer = self.tracer
@@ -197,7 +212,6 @@ class System:
             )
         self.energy = EnergyAccumulator(params, registry=self.metrics)
         self.tracker = IntervalTracker()
-        self.prefill_fraction = self._prefill_cache()
 
     def _build_engine(self) -> RefreshEngine:
         state = self.l2.state
@@ -233,7 +247,33 @@ class System:
         # portion only.
         return EsteemValidActiveRefresh(state, refresh_cfg)
 
-    def _prefill_cache(self) -> float:
+    def _build_prefilled_l2(self) -> tuple[SetAssociativeCache, float]:
+        """Build the shared L2 and warm it with the workloads' footprint.
+
+        The result of construction + prefill is fully determined by the
+        geometry, the phase count, and the footprint target, so it is
+        snapshotted once per distinct key and cloned on every later
+        construction (sweeps build many systems over identical inputs).
+        """
+        geo = self.config.l2
+        key = (
+            geo.num_sets,
+            geo.associativity,
+            self.config.refresh.rpv_phases,
+            sum(t.footprint_lines for t in self.traces),
+        )
+        cached = _L2_IMAGE_CACHE.get(key)
+        if cached is None:
+            l2 = SetAssociativeCache(geo, name="L2")
+            fraction = self._prefill_cache(l2)
+            while len(_L2_IMAGE_CACHE) >= _L2_IMAGE_CACHE_MAX:
+                _L2_IMAGE_CACHE.pop(next(iter(_L2_IMAGE_CACHE)))
+            _L2_IMAGE_CACHE[key] = (l2.snapshot_image(), fraction)
+            return l2, fraction
+        image, fraction = cached
+        return SetAssociativeCache.from_image(geo, image, name="L2"), fraction
+
+    def _prefill_cache(self, l2: SetAssociativeCache) -> float:
         """Warm the L2 with the workloads' paper-scale stale footprint.
 
         The paper fast-forwards 10 B instructions and measures 400 M; by
@@ -246,63 +286,100 @@ class System:
         refresh counts (RPV, periodic-valid, ESTEEM) see the warmed state.
         """
         total_footprint = sum(t.footprint_lines for t in self.traces)
-        num_lines = self.l2.state.num_lines
+        num_lines = l2.state.num_lines
         if total_footprint <= 0:
             return 0.0
         target = min(total_footprint, num_lines)
-        sets = self.l2.sets
-        state = self.l2.state
-        a = self.l2.associativity
-        s_count = self.l2.num_sets
-        full_ways = target // s_count
+        sets = l2.sets
+        state = l2.state
+        a = l2.associativity
+        s_count = l2.num_sets
+        full_ways = min(target // s_count, a)
         remainder = target % s_count
-        set_bits = self.l2.set_bits
+        set_bits = l2.set_bits
         junk_high = 1 << 45  # far above any real tag bits
         phases = self.config.refresh.rpv_phases
+
+        # Per-line state is filled with whole-array operations; only the
+        # per-set tag list / tag map need a Python pass.  A fabricated but
+        # self-consistent line address per way: maps back to its set and
+        # collides with no real workload line.
+        filled = np.zeros((s_count, a), dtype=bool)
+        filled[:, :full_ways] = True
+        if remainder and full_ways < a:
+            filled[:remainder, full_ways] = True
+        g = np.arange(num_lines, dtype=np.int64)
+        # Stagger stale lines across the refresh phases: real steady-state
+        # data is phase-distributed, and synchronised stamps would make RPV
+        # refresh the whole cache in one burst window.
+        flat = filled.reshape(num_lines)
+        state.valid[flat] = True
+        state.dirty[flat] = False
+        state.last_window[flat] = (-(g % phases))[flat]
+        junk_rows = (
+            ((junk_high + np.arange(a, dtype=np.int64)) << set_bits)[None, :]
+            | np.arange(s_count, dtype=np.int64)[:, None]
+        ).tolist()
+        way_range = range(a)
         for s_idx, cset in enumerate(sets):
-            ways = full_ways + (1 if s_idx < remainder else 0)
-            base = s_idx * a
-            for w in range(min(ways, a)):
-                # A fabricated but self-consistent line address: maps back
-                # to this set and collides with no real workload line.
-                cset.tags[w] = ((junk_high + w) << set_bits) | s_idx
-                g = base + w
-                state.valid[g] = True
-                state.dirty[g] = False
-                # Stagger stale lines across the refresh phases: real
-                # steady-state data is phase-distributed, and synchronised
-                # stamps would make RPV refresh the whole cache in one
-                # burst window.
-                state.last_window[g] = -(g % phases)
+            ways = full_ways + 1 if s_idx < remainder else full_ways
+            ways = min(ways, a)
+            if not ways:
+                break
+            row = junk_rows[s_idx][:ways]
+            cset.tags[:ways] = row
+            cset.tag_map = dict(zip(row, way_range))
         return target / num_lines
 
     # ------------------------------------------------------------------
 
     def run(self) -> SystemResult:
-        """Simulate until every core finishes its first trace pass."""
-        if self.profiler is not None:
-            with self.profiler.span(
-                f"system.run:{self.workload}:{self.technique}",
-                workload=self.workload,
-                technique=self.technique,
-            ):
-                return self._run()
-        return self._run()
+        """Simulate until every core finishes its first trace pass.
+
+        The cyclic garbage collector is paused for the duration: the hot
+        loop allocates only short-lived acyclic objects, but a generation-2
+        collection triggered mid-run scans the (large, immortal) cached
+        trace columns and cache images, costing milliseconds for nothing.
+        """
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            if self.profiler is not None:
+                with self.profiler.span(
+                    f"system.run:{self.workload}:{self.technique}",
+                    workload=self.workload,
+                    technique=self.technique,
+                ):
+                    return self._run()
+            return self._run()
+        finally:
+            if was_enabled:
+                gc.enable()
 
     def _run(self) -> SystemResult:
-        cfg = self.config
+        """Build the cores, drive the selected loop, produce the result.
+
+        Three loops implement identical semantics (verified bit-identical
+        by ``tests/timing/test_fast_loop_equivalence.py``):
+
+        * the straight-line reference loop (:meth:`_run_reference`), kept
+          behind the ``reference_loop`` flag as the executable spec;
+        * a generic chunked loop used when per-record hooks must fire
+          (enabled tracer, or a subclass overriding :meth:`_service`);
+        * fully inlined single-/multi-core fast loops for the common case.
+
+        The chunked loops exploit the *event horizon*: between one
+        boundary and the next, neither the interval check nor
+        ``engine.advance_to`` can do any work, so the inner loop services
+        records against hoisted locals and only re-enters the maintenance
+        path when a core's clock crosses
+        ``min(next_interval, engine.next_boundary)``.
+        """
         cores = [
             CoreState(i, trace, i << _CORE_OFFSET_SHIFT)
             for i, trace in enumerate(self.traces)
         ]
-        l2 = self.l2
-        engine = self.engine
-        memory = self.memory
-        phase_cycles = engine.phase_cycles
-        interval_cycles = cfg.esteem.interval_cycles
-        next_interval = interval_cycles
-        single = len(cores) == 1
-        core0 = cores[0]
         if self.tracer is not None:
             self.tracer.emit(
                 EVENT_SIM_START,
@@ -310,11 +387,38 @@ class System:
                 workload=self.workload,
                 technique=self.technique,
                 cores=len(cores),
-                interval_cycles=interval_cycles,
-                retention_cycles=cfg.refresh.retention_cycles,
-                l2_bytes=cfg.l2.size_bytes,
+                interval_cycles=self.config.esteem.interval_cycles,
+                retention_cycles=self.config.refresh.retention_cycles,
+                l2_bytes=self.config.l2.size_bytes,
                 prefill_fraction=self.prefill_fraction,
             )
+
+        if self.reference_loop:
+            end_cycle = self._run_reference(cores)
+        elif type(self)._service is not System._service or self.tracer is not None:
+            end_cycle = self._run_chunked(cores)
+        elif len(cores) == 1:
+            end_cycle = self._run_fast_single(cores[0])
+        else:
+            end_cycle = self._run_fast_multi(cores)
+
+        self.engine.advance_to(int(end_cycle))
+        self._close_interval(end_cycle, final=True)
+        return self._finalize(cores, end_cycle)
+
+    def _run_reference(self, cores: list[CoreState]) -> float:
+        """The original per-record service loop (executable specification).
+
+        Checks the interval boundary and advances the refresh engine on
+        every record.  Slow, but trivially correct; the fast loops are
+        asserted bit-identical against it.
+        """
+        engine = self.engine
+        phase_cycles = engine.phase_cycles
+        interval_cycles = self.config.esteem.interval_cycles
+        next_interval = interval_cycles
+        single = len(cores) == 1
+        core0 = cores[0]
 
         while True:
             if single:
@@ -338,10 +442,612 @@ class System:
             core.retire(gap, latency)
             core.note_wrap_if_any()
 
-        end_cycle = max(c.cycles for c in cores)
-        engine.advance_to(int(end_cycle))
-        self._close_interval(end_cycle, final=True)
+        return max(c.cycles for c in cores)
 
+    def _run_chunked(self, cores: list[CoreState]) -> float:
+        """Event-horizon loop that still routes through :meth:`_service`.
+
+        Used when per-record observability must fire (enabled tracer) or a
+        subclass overrides the service path: the maintenance work (interval
+        close + refresh advance) is hoisted behind a single ``now >=
+        horizon`` test, but every record still goes through the virtual
+        :meth:`_service`, so the emitted event stream and subclass
+        behaviour are exactly those of the reference loop.
+        """
+        engine = self.engine
+        advance_to = engine.advance_to
+        phase_cycles = engine.phase_cycles
+        interval_cycles = self.config.esteem.interval_cycles
+        next_interval = interval_cycles
+        service = self._service
+        single = len(cores) == 1
+        core0 = cores[0]
+        horizon = -1  # forces maintenance before the first record
+
+        while True:
+            if single:
+                core = core0
+                if core.wrapped:
+                    break
+            else:
+                core = min(cores, key=_core_cycles)
+                if all(c.wrapped for c in cores):
+                    break
+            now = int(core.cycles)
+            if now >= horizon:
+                while now >= next_interval:
+                    self._close_interval(next_interval)
+                    next_interval += interval_cycles
+                advance_to(now)
+                horizon = next_interval
+                nb = engine.next_boundary
+                if nb < horizon:
+                    horizon = nb
+            addr, is_write, gap = core.cursor.next_record()
+            latency = service(
+                core, addr | core.addr_offset, is_write, now,
+                now // phase_cycles,
+            )
+            core.retire(gap, latency)
+            core.note_wrap_if_any()
+
+        return max(c.cycles for c in cores)
+
+    def _run_fast_single(self, core: CoreState) -> float:
+        """Fully inlined single-core event-horizon loop.
+
+        Everything the reference loop touches per record -- cursor tuple
+        build, the cache access itself, the memory-channel queue, the
+        retire/wrap bookkeeping -- is inlined here with its state hoisted
+        into locals once per chunk.  Cache/memory counters live in plain
+        local ints for the duration of a chunk and are flushed back to
+        their owning objects before any maintenance code (interval close,
+        refresh advance) can observe them.  Arithmetic order matches
+        :meth:`_service` / :meth:`SetAssociativeCache.access
+        <repro.cache.cache.SetAssociativeCache.access>` /
+        :meth:`CoreState.retire
+        <repro.timing.core_model.CoreState.retire>` exactly, so results
+        are bit-identical to the reference loop.
+        """
+        cfg = self.config
+        l2 = self.l2
+        engine = self.engine
+        memory = self.memory
+        phase_cycles = engine.phase_cycles
+        interval_cycles = cfg.esteem.interval_cycles
+        l2_latency = cfg.l2.latency_cycles
+        drowsy_wakeup = cfg.esteem.drowsy_wakeup_cycles
+        # Cache internals (shared with access(); see cache.py hot path).
+        sets = l2.sets
+        asm = l2.active_set_mask
+        a = l2.associativity
+        state = l2.state
+        # Memoryviews over the shared per-line state buffers: element
+        # get/set is ~2x cheaper than NumPy scalar indexing, and writes
+        # land in the same memory the vectorised refresh/maintenance code
+        # reads.
+        valid_mv = memoryview(state.valid)
+        dirty_mv = memoryview(state.dirty)
+        lw_mv = memoryview(state.last_window)
+        stats = l2.stats
+        hbp = stats.hits_by_position
+        write_counts = l2.write_counts
+        module_of_set = l2.module_of_set
+        profile_hist = l2.profile_hist
+        # Memory-channel internals (shared with MainMemory._enqueue).
+        service_cycles = memory.service_cycles
+        mem_latency = memory.latency_cycles
+        cursor = core.cursor
+        recs, gi_cum = cursor.trace.retire_records(
+            core.addr_offset, core.base_cpi
+        )
+        n_rec = len(recs)
+        mlp = core.mem_mlp
+        i = cursor.index
+        wraps = cursor.wraps
+        cycles = core.cycles
+        instructions = core.instructions
+        # The instruction counter is reconstructed from the cumulative
+        # per-record sums at chunk boundaries; nothing inside a chunk ever
+        # reads it, so the hot loop skips the per-record increment.
+        pass_base = instructions - (gi_cum[i - 1] if i else 0)
+        next_interval = interval_cycles
+        a1 = a - 1
+        # In drowsy gating mode lines survive in gated ways, so the
+        # "every enabled way is resident" victim fast path below would
+        # miscount residency from ``len(tag_map)``.
+        drowsy_mode = cfg.esteem.gating_mode == "drowsy"
+
+        while wraps == 0:
+            now = int(cycles)
+            while now >= next_interval:
+                self._close_interval(next_interval)
+                next_interval += interval_cycles
+            engine.advance_to(now)
+            horizon = next_interval
+            nb = engine.next_boundary
+            if nb < horizon:
+                horizon = nb
+            # current_stall only changes inside advance_to, which cannot
+            # fire again before the horizon -- hoist the latency base and
+            # the queue-empty miss latency (``(mem_latency + 0) / mlp``
+            # collapses to a constant; identical float ops either way).
+            lat_base = l2_latency + engine.current_stall
+            lat_miss0 = lat_base + mem_latency / mlp
+            # The set mask changes only at interval close (selective-sets).
+            asm = l2.active_set_mask
+            # The phase window advances every ``phase_cycles`` -- track its
+            # end as a cycle threshold so the common record pays one float
+            # compare instead of int()+floordiv.  ``cycles`` is monotonic,
+            # and for integral thresholds ``int(cycles) >= t`` is exactly
+            # ``cycles >= t``, so the recomputed window matches the
+            # reference's per-record ``int(cycles) // phase_cycles``.
+            window = now // phase_cycles
+            window_end = (window + 1) * phase_cycles
+            # One merged threshold guards both the window roll-over and
+            # the horizon: the common record pays a single float compare.
+            # Checking the horizon at the *top* of the next record is
+            # equivalent to checking it after the retire -- the previous
+            # record is the last one processed either way -- and a
+            # crossing on the final record of a pass simply exhausts the
+            # for loop, which the wrap branch below already treats as a
+            # wrap (matching the reference's wrap-over-horizon priority).
+            next_chk = window_end if window_end < horizon else horizon
+            # Chunk-local counter mirrors; flushed below before any
+            # maintenance code reads them.
+            hits = stats.hits
+            misses = stats.misses
+            wbs = stats.writebacks
+            dhits = stats.drowsy_hits
+            mm_next_free = memory._next_free
+            mm_reads = mm_reads0 = memory.reads
+            mm_writes = mm_writes0 = memory.writes
+            mm_qwait = memory.total_queue_wait
+            brk = -1
+            for i in range(i, n_rec):
+                addr, is_write, gcpi, _gi = recs[i]
+                if cycles >= next_chk:
+                    if cycles >= horizon:
+                        brk = i - 1
+                        break
+                    window = int(cycles) // phase_cycles
+                    window_end = (window + 1) * phase_cycles
+                    next_chk = window_end if window_end < horizon else horizon
+                cset = sets[addr & asm]
+                way = cset.tag_map.get(addr, -1)
+                if way >= 0:
+                    # Hit: promote to MRU, record recency position.  In
+                    # off-mode gating a follower's gated ways never hold a
+                    # line and leaders never gate, so the drowsy-way test
+                    # can only pass in drowsy mode -- guard on the mode
+                    # flag first to spare the common path the probes.
+                    if drowsy_mode and way >= cset.n_active and not cset.is_leader:
+                        dhits += 1
+                        latency = lat_base + drowsy_wakeup
+                    else:
+                        latency = lat_base
+                    order = cset.order
+                    if order[0] == way:
+                        pos = 0
+                    else:
+                        pos = order.index(way)
+                        del order[pos]
+                        order.insert(0, way)
+                    hits += 1
+                    hbp[pos] += 1
+                    g = cset.base + way
+                    if is_write:
+                        dirty_mv[g] = True
+                        if write_counts is not None:
+                            write_counts[g] += 1
+                    lw_mv[g] = window
+                    if profile_hist is not None and cset.is_leader:
+                        profile_hist[module_of_set[cset.index]][pos] += 1
+                else:
+                    # Miss: victim selection + fill, then the memory fetch.
+                    misses += 1
+                    tags = cset.tags
+                    tag_map = cset.tag_map
+                    order = cset.order
+                    n_act = cset.n_active
+                    promote = True
+                    if n_act == a:
+                        if len(tag_map) == a:
+                            # Full set (steady state): evict the recency
+                            # tail; its position is known, so no scan.
+                            victim = order[-1]
+                            del order[-1]
+                            order.insert(0, victim)
+                            promote = False
+                        else:
+                            victim = tags.index(None)
+                    elif not drowsy_mode and len(tag_map) == n_act:
+                        # Shrunken set, every enabled way resident: the
+                        # victim is the LRU enabled way; capture its
+                        # recency position during the scan so promotion
+                        # needs no second pass.
+                        pos = a1
+                        victim = -1
+                        for w in reversed(order):
+                            if w < n_act:
+                                victim = w
+                                break
+                            pos -= 1
+                        if victim < 0:
+                            raise RuntimeError(
+                                f"{l2.name}: set {cset.index} has no "
+                                f"enabled way to fill (n_active="
+                                f"{n_act}, associativity={a})"
+                            )
+                        if pos:
+                            del order[pos]
+                            order.insert(0, victim)
+                        promote = False
+                    else:
+                        head = tags[:n_act]
+                        if None in head:
+                            victim = head.index(None)
+                        else:
+                            victim = -1
+                            for w in reversed(order):
+                                if w < n_act:
+                                    victim = w
+                                    break
+                            if victim < 0:
+                                raise RuntimeError(
+                                    f"{l2.name}: set {cset.index} has no "
+                                    f"enabled way to fill (n_active="
+                                    f"{n_act}, associativity={a})"
+                                )
+                    g = cset.base + victim
+                    old_tag = tags[victim]
+                    now = int(cycles)
+                    if old_tag is not None:
+                        del tag_map[old_tag]
+                        if dirty_mv[g]:
+                            # Dirty eviction: post the writeback first so
+                            # the demand fetch queues behind it.
+                            wbs += 1
+                            if mm_next_free > now:
+                                mm_qwait += mm_next_free - now
+                                mm_next_free += service_cycles
+                            else:
+                                mm_next_free = now + service_cycles
+                            mm_writes += 1
+                    else:
+                        valid_mv[g] = True
+                    tags[victim] = addr
+                    tag_map[addr] = victim
+                    dirty_mv[g] = is_write
+                    if is_write and write_counts is not None:
+                        write_counts[g] += 1
+                    lw_mv[g] = window
+                    if promote:
+                        pos = order.index(victim)
+                        if pos:
+                            del order[pos]
+                            order.insert(0, victim)
+                    # The demand fetch (MainMemory.read inlined).
+                    if mm_next_free > now:
+                        wait = mm_next_free - now
+                        mm_qwait += wait
+                        mm_next_free += service_cycles
+                        latency = lat_base + (mem_latency + wait) / mlp
+                    else:
+                        mm_next_free = now + service_cycles
+                        latency = lat_miss0
+                    mm_reads += 1
+                # ``gcpi`` is the precomputed ``(gap+1) * base_cpi``; the
+                # parenthesised sum matches retire()'s evaluation order
+                # bit for bit.
+                cycles = cycles + (gcpi + latency)
+            stats.hits = hits
+            stats.misses = misses
+            stats.writebacks = wbs
+            stats.drowsy_hits = dhits
+            memory._next_free = mm_next_free
+            memory.reads = mm_reads
+            memory.writes = mm_writes
+            memory._delta_accesses += (
+                (mm_reads - mm_reads0) + (mm_writes - mm_writes0)
+            )
+            memory.total_queue_wait = mm_qwait
+            if brk < 0:
+                # The for loop exhausted the pass: either no record
+                # crossed the horizon, or the crossing happened on the
+                # final record (the wrap takes priority over a
+                # simultaneous horizon crossing, exactly as in the
+                # reference loop).
+                instructions = pass_base + gi_cum[n_rec - 1]
+                pass_base = instructions
+                i = 0
+                wraps += 1
+            else:
+                instructions = pass_base + gi_cum[brk]
+                i = brk + 1
+
+        cursor.index = i
+        cursor.wraps = wraps
+        core.cycles = cycles
+        core.instructions = instructions
+        core.note_wrap_if_any()
+        return cycles
+
+    def _run_fast_multi(self, cores: list[CoreState]) -> float:
+        """Fully inlined multi-core event-horizon loop.
+
+        Cores are still interleaved by smallest local clock *per record*
+        (first-minimum tie-break, exactly like ``min()`` in the reference
+        loop), so shared-L2 interference orderings are unchanged; the
+        cache access and memory queue are inlined exactly as in
+        :meth:`_run_fast_single`.  Per-core state lives in parallel local
+        lists indexed by the selected core.
+        """
+        cfg = self.config
+        l2 = self.l2
+        engine = self.engine
+        memory = self.memory
+        phase_cycles = engine.phase_cycles
+        interval_cycles = cfg.esteem.interval_cycles
+        l2_latency = cfg.l2.latency_cycles
+        drowsy_wakeup = cfg.esteem.drowsy_wakeup_cycles
+        # Cache internals (shared with access(); see cache.py hot path).
+        sets = l2.sets
+        a = l2.associativity
+        state = l2.state
+        # Memoryviews over the shared per-line state buffers: element
+        # get/set is ~2x cheaper than NumPy scalar indexing, and writes
+        # land in the same memory the vectorised refresh/maintenance code
+        # reads.
+        valid_mv = memoryview(state.valid)
+        dirty_mv = memoryview(state.dirty)
+        lw_mv = memoryview(state.last_window)
+        stats = l2.stats
+        hbp = stats.hits_by_position
+        write_counts = l2.write_counts
+        module_of_set = l2.module_of_set
+        profile_hist = l2.profile_hist
+        # Memory-channel internals (shared with MainMemory._enqueue).
+        service_cycles = memory.service_cycles
+        mem_latency = memory.latency_cycles
+        n_cores = len(cores)
+        recs_ = [
+            c.cursor.trace.retire_records(c.addr_offset, c.base_cpi)[0]
+            for c in cores
+        ]
+        n_ = [len(r) for r in recs_]
+        mlp_ = [c.mem_mlp for c in cores]
+        i_ = [c.cursor.index for c in cores]
+        wraps_ = [c.cursor.wraps for c in cores]
+        cycles_ = [c.cycles for c in cores]
+        instr_ = [c.instructions for c in cores]
+        fpc_ = [c.first_pass_cycles for c in cores]
+        fpi_ = [c.first_pass_instructions for c in cores]
+        running = sum(1 for w in wraps_ if w == 0)
+        next_interval = interval_cycles
+        a1 = a - 1
+        drowsy_mode = cfg.esteem.gating_mode == "drowsy"
+
+        while running:
+            ci = 0
+            best = cycles_[0]
+            for k in range(1, n_cores):
+                ck = cycles_[k]
+                if ck < best:
+                    best = ck
+                    ci = k
+            now = int(best)
+            while now >= next_interval:
+                self._close_interval(next_interval)
+                next_interval += interval_cycles
+            engine.advance_to(now)
+            horizon = next_interval
+            nb = engine.next_boundary
+            if nb < horizon:
+                horizon = nb
+            lat_base = l2_latency + engine.current_stall
+            lat_miss0_ = [lat_base + mem_latency / m for m in mlp_]
+            asm = l2.active_set_mask
+            # The interleaved clock min(cycles_) is monotonic, so the
+            # phase window can be tracked by threshold exactly as in the
+            # single-core loop.
+            window = now // phase_cycles
+            window_end = (window + 1) * phase_cycles
+            hits = stats.hits
+            misses = stats.misses
+            wbs = stats.writebacks
+            dhits = stats.drowsy_hits
+            mm_next_free = memory._next_free
+            mm_reads = mm_reads0 = memory.reads
+            mm_writes = mm_writes0 = memory.writes
+            mm_qwait = memory.total_queue_wait
+            while True:
+                i = i_[ci]
+                addr, is_write, gcpi, gi = recs_[ci][i]
+                i += 1
+                if i >= n_[ci]:
+                    i = 0
+                    wr = wraps_[ci] + 1
+                    wraps_[ci] = wr
+                    if wr == 1:
+                        running -= 1
+                i_[ci] = i
+                if best >= window_end:
+                    window = int(best) // phase_cycles
+                    window_end = (window + 1) * phase_cycles
+                cset = sets[addr & asm]
+                way = cset.tag_map.get(addr, -1)
+                if way >= 0:
+                    # Hit: promote to MRU, record recency position.  The
+                    # gated-way (drowsy) test can only pass in drowsy
+                    # mode -- see :meth:`_run_fast_single`.
+                    if drowsy_mode and way >= cset.n_active and not cset.is_leader:
+                        dhits += 1
+                        latency = lat_base + drowsy_wakeup
+                    else:
+                        latency = lat_base
+                    order = cset.order
+                    if order[0] == way:
+                        pos = 0
+                    else:
+                        pos = order.index(way)
+                        del order[pos]
+                        order.insert(0, way)
+                    hits += 1
+                    hbp[pos] += 1
+                    g = cset.base + way
+                    if is_write:
+                        dirty_mv[g] = True
+                        if write_counts is not None:
+                            write_counts[g] += 1
+                    lw_mv[g] = window
+                    if profile_hist is not None and cset.is_leader:
+                        profile_hist[module_of_set[cset.index]][pos] += 1
+                else:
+                    # Miss: victim selection + fill, then the memory fetch.
+                    misses += 1
+                    tags = cset.tags
+                    tag_map = cset.tag_map
+                    order = cset.order
+                    n_act = cset.n_active
+                    promote = True
+                    if n_act == a:
+                        if len(tag_map) == a:
+                            # Full set (steady state): evict the recency
+                            # tail; its position is known, so no scan.
+                            victim = order[-1]
+                            del order[-1]
+                            order.insert(0, victim)
+                            promote = False
+                        else:
+                            victim = tags.index(None)
+                    elif not drowsy_mode and len(tag_map) == n_act:
+                        # Shrunken set, every enabled way resident: the
+                        # victim is the LRU enabled way; capture its
+                        # recency position during the scan so promotion
+                        # needs no second pass.
+                        pos = a1
+                        victim = -1
+                        for w in reversed(order):
+                            if w < n_act:
+                                victim = w
+                                break
+                            pos -= 1
+                        if victim < 0:
+                            raise RuntimeError(
+                                f"{l2.name}: set {cset.index} has no "
+                                f"enabled way to fill (n_active="
+                                f"{n_act}, associativity={a})"
+                            )
+                        if pos:
+                            del order[pos]
+                            order.insert(0, victim)
+                        promote = False
+                    else:
+                        head = tags[:n_act]
+                        if None in head:
+                            victim = head.index(None)
+                        else:
+                            victim = -1
+                            for w in reversed(order):
+                                if w < n_act:
+                                    victim = w
+                                    break
+                            if victim < 0:
+                                raise RuntimeError(
+                                    f"{l2.name}: set {cset.index} has no "
+                                    f"enabled way to fill (n_active="
+                                    f"{n_act}, associativity={a})"
+                                )
+                    g = cset.base + victim
+                    old_tag = tags[victim]
+                    now = int(best)
+                    if old_tag is not None:
+                        del tag_map[old_tag]
+                        if dirty_mv[g]:
+                            # Dirty eviction: post the writeback first so
+                            # the demand fetch queues behind it.
+                            wbs += 1
+                            if mm_next_free > now:
+                                mm_qwait += mm_next_free - now
+                                mm_next_free += service_cycles
+                            else:
+                                mm_next_free = now + service_cycles
+                            mm_writes += 1
+                    else:
+                        valid_mv[g] = True
+                    tags[victim] = addr
+                    tag_map[addr] = victim
+                    dirty_mv[g] = is_write
+                    if is_write and write_counts is not None:
+                        write_counts[g] += 1
+                    lw_mv[g] = window
+                    if promote:
+                        pos = order.index(victim)
+                        if pos:
+                            del order[pos]
+                            order.insert(0, victim)
+                    # The demand fetch (MainMemory.read inlined).
+                    if mm_next_free > now:
+                        wait = mm_next_free - now
+                        mm_qwait += wait
+                        mm_next_free += service_cycles
+                        latency = lat_base + (mem_latency + wait) / mlp_[ci]
+                    else:
+                        mm_next_free = now + service_cycles
+                        latency = lat_miss0_[ci]
+                    mm_reads += 1
+                # ``gcpi`` is the precomputed ``gi * base_cpi``;
+                # parenthesised to match retire()'s `+=` evaluation order
+                # (whole RHS first) -- keeps results bit-identical.
+                cyc = cycles_[ci] + (gcpi + latency)
+                cycles_[ci] = cyc
+                ins = instr_[ci] + gi
+                instr_[ci] = ins
+                if wraps_[ci] == 1 and fpc_[ci] == 0.0:
+                    # First pass just completed at this exact record
+                    # boundary: snapshot the measured window (Section 6.4).
+                    fpc_[ci] = cyc
+                    fpi_[ci] = ins
+                if not running:
+                    break
+                ci = 0
+                best = cycles_[0]
+                for k in range(1, n_cores):
+                    ck = cycles_[k]
+                    if ck < best:
+                        best = ck
+                        ci = k
+                if best >= horizon:
+                    break
+            stats.hits = hits
+            stats.misses = misses
+            stats.writebacks = wbs
+            stats.drowsy_hits = dhits
+            memory._next_free = mm_next_free
+            memory.reads = mm_reads
+            memory.writes = mm_writes
+            memory._delta_accesses += (
+                (mm_reads - mm_reads0) + (mm_writes - mm_writes0)
+            )
+            memory.total_queue_wait = mm_qwait
+
+        for core, i, wr, cyc, ins, fc, fi in zip(
+            cores, i_, wraps_, cycles_, instr_, fpc_, fpi_
+        ):
+            core.cursor.index = i
+            core.cursor.wraps = wr
+            core.cycles = cyc
+            core.instructions = ins
+            core.first_pass_cycles = fc
+            core.first_pass_instructions = fi
+        return max(cycles_)
+
+    def _finalize(self, cores: list[CoreState], end_cycle: float) -> SystemResult:
+        """Emit end-of-run observability and assemble the result."""
+        l2 = self.l2
+        engine = self.engine
+        memory = self.memory
         if self.tracer is not None:
             self.tracer.emit(
                 EVENT_SIM_END,

@@ -133,9 +133,12 @@ class SyntheticTraceGenerator:
                 [zlib.crc32(profile.name.encode("utf-8")), self.seed]
             )
         )
-        addrs: list[int] = []
-        writes: list[bool] = []
-        gaps: list[int] = []
+        # Per-segment NumPy columns, concatenated once at the end -- the
+        # trace stays array-backed with no list round-trips.
+        addr_chunks: list[np.ndarray] = []
+        write_chunks: list[np.ndarray] = []
+        gap_chunks: list[np.ndarray] = []
+        n_records = 0
 
         # Per-virtual-set recency stacks and cold-allocation cursors are
         # shared across phases (phases of one application share its address
@@ -156,33 +159,49 @@ class SyntheticTraceGenerator:
         phases = profile.phases
         phase_idx = 0
 
-        while instructions < max_instructions and len(addrs) < record_cap:
+        while instructions < max_instructions and n_records < record_cap:
             phase = phases[phase_idx % len(phases)]
             phase_idx += 1
-            n = min(phase.segment_records, record_cap - len(addrs))
+            n = min(phase.segment_records, record_cap - n_records)
             seg = self._generate_segment(
                 phase, n, rng, stacks, cold_cursor, scan_cursor
             )
             seg_addrs, seg_writes, seg_gaps, cold_cursor, scan_cursor = seg
             # Truncate the segment at the instruction budget.
-            total = instructions + int(np.sum(seg_gaps)) + len(seg_gaps)
+            total = instructions + int(seg_gaps.sum()) + len(seg_gaps)
             if total > max_instructions:
-                cum = np.cumsum(np.asarray(seg_gaps) + 1) + instructions
-                keep = int(np.searchsorted(cum, max_instructions, side="right")) + 1
+                cum = np.cumsum(seg_gaps + 1) + instructions
+                # side="left": when some prefix meets the budget exactly,
+                # the record after it must not ride along (the loop would
+                # never have asked for it).
+                keep = int(np.searchsorted(cum, max_instructions, side="left")) + 1
                 keep = max(1, min(keep, len(seg_addrs)))
                 seg_addrs = seg_addrs[:keep]
                 seg_writes = seg_writes[:keep]
                 seg_gaps = seg_gaps[:keep]
-            addrs.extend(seg_addrs)
-            writes.extend(seg_writes)
-            gaps.extend(seg_gaps)
-            instructions += int(np.sum(seg_gaps)) + len(seg_gaps)
+            addr_chunks.append(seg_addrs)
+            write_chunks.append(seg_writes)
+            gap_chunks.append(seg_gaps)
+            n_records += len(seg_addrs)
+            instructions += int(seg_gaps.sum()) + len(seg_gaps)
 
         return Trace(
             name=profile.name,
-            addrs=addrs,
-            writes=writes,
-            gaps=gaps,
+            addrs=(
+                np.concatenate(addr_chunks)
+                if addr_chunks
+                else np.empty(0, dtype=np.int64)
+            ),
+            writes=(
+                np.concatenate(write_chunks)
+                if write_chunks
+                else np.empty(0, dtype=bool)
+            ),
+            gaps=(
+                np.concatenate(gap_chunks)
+                if gap_chunks
+                else np.empty(0, dtype=np.int64)
+            ),
             base_cpi=profile.base_cpi,
             mem_mlp=profile.mem_mlp,
             footprint_lines=profile.footprint_lines,
@@ -215,18 +234,18 @@ class SyntheticTraceGenerator:
         stacks: dict[int, deque],
         cold_cursor: int,
         scan_cursor: int,
-    ) -> tuple[list[int], list[bool], list[int], int, int]:
-        """Produce ``n`` records for one phase segment."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+        """Produce ``n`` records for one phase segment (NumPy columns)."""
         profile = self.profile
-        ws = phase.ws_lines
         # Vectorised randomness.
-        writes = (rng.random(n) < profile.write_fraction).tolist()
+        writes = rng.random(n) < profile.write_fraction
         gap_mean = profile.gap_mean
         if gap_mean > 0:
-            gaps = rng.geometric(1.0 / (gap_mean + 1.0), size=n) - 1
+            gaps = (rng.geometric(1.0 / (gap_mean + 1.0), size=n) - 1).astype(
+                np.int64
+            )
         else:
             gaps = np.zeros(n, dtype=np.int64)
-        gaps_list = gaps.astype(np.int64).tolist()
 
         if phase.pattern == "scan":
             addrs, scan_cursor = self._scan_addresses(phase, n, rng, scan_cursor)
@@ -234,7 +253,7 @@ class SyntheticTraceGenerator:
             addrs, cold_cursor = self._mixture_addresses(
                 phase, n, rng, stacks, cold_cursor
             )
-        return addrs, writes, gaps_list, cold_cursor, scan_cursor
+        return addrs, writes, gaps, cold_cursor, scan_cursor
 
     @staticmethod
     def _line_addr(vset: int, k: int) -> int:
@@ -246,13 +265,13 @@ class SyntheticTraceGenerator:
         n: int,
         rng: np.random.Generator,
         cursor: int,
-    ) -> tuple[list[int], int]:
+    ) -> tuple[np.ndarray, int]:
         """Cyclic sequential walk over the working set (anti-LRU)."""
         ws = phase.ws_lines
         idx = (np.arange(cursor, cursor + n)) % ws
         vsets = idx % VIRTUAL_SETS
         ks = idx // VIRTUAL_SETS
-        addrs = ((ks << _VSET_BITS) | vsets).astype(np.int64).tolist()
+        addrs = ((ks << _VSET_BITS) | vsets).astype(np.int64)
         return addrs, (cursor + n) % ws
 
     def _mixture_addresses(
@@ -262,7 +281,7 @@ class SyntheticTraceGenerator:
         rng: np.random.Generator,
         stacks: dict[int, deque],
         cold_cursor: int,
-    ) -> tuple[list[int], int]:
+    ) -> tuple[np.ndarray, int]:
         """Near/far/new mixture resolved against the virtual-set stacks."""
         ws = phase.ws_lines
         p_new = phase.p_new
@@ -320,7 +339,7 @@ class SyntheticTraceGenerator:
                     active_vsets.append(v)
                 dq.append(addr)
                 append(addr)
-        return addrs, cold_cursor
+        return np.asarray(addrs, dtype=np.int64), cold_cursor
 
 
 def generate_trace(

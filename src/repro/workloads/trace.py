@@ -7,13 +7,21 @@ trace: ``gap`` counts both non-memory instructions and L1-hit accesses,
 whose latency is absorbed into the workload's base CPI -- see DESIGN.md
 section 1 on the substitution for Sniper + SPEC traces).
 
-Storage is three parallel lists (fast to iterate with ``zip``); NumPy is
-used only for (de)serialisation.
+Storage is three parallel NumPy arrays (int64 / bool / int64) end-to-end:
+(de)serialisation is a direct ``savez``/``load`` of the columns with no
+``tolist`` round-trips, pickling for the parallel sweep workers ships the
+compact binary buffers, and vectorised consumers slice the arrays
+directly.  The scalar simulation hot loop wants plain Python ints (NumPy
+scalar extraction costs more per element than list indexing), so
+:meth:`Trace.columns` materialises list views once per trace and caches
+them -- every :class:`TraceCursor` and every technique run over the same
+trace shares that single materialisation.
 """
 
 from __future__ import annotations
 
 import io
+import itertools
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -22,7 +30,7 @@ import numpy as np
 __all__ = ["Trace", "TraceCursor"]
 
 
-@dataclass
+@dataclass(eq=False)
 class Trace:
     """An L2-level access trace for one core.
 
@@ -31,17 +39,18 @@ class Trace:
     name:
         Workload name ("h264ref", ...).
     addrs / writes / gaps:
-        Parallel per-record lists: line address, store flag, instructions
-        since the previous record.
+        Parallel per-record NumPy columns (``int64`` / ``bool`` / ``int64``):
+        line address, store flag, instructions since the previous record.
+        List inputs are converted on construction.
     base_cpi:
         Cycles per instruction charged for the ``gap`` work (captures issue
         width, L1 hit latency, and non-memory stalls for this workload).
     """
 
     name: str
-    addrs: list[int] = field(default_factory=list)
-    writes: list[bool] = field(default_factory=list)
-    gaps: list[int] = field(default_factory=list)
+    addrs: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    writes: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    gaps: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     base_cpi: float = 1.0
     #: Memory-level parallelism: effective miss penalty divisor.  Streaming,
     #: prefetch-friendly codes overlap several outstanding misses (>= 3);
@@ -55,27 +64,115 @@ class Trace:
     footprint_lines: int = 0
 
     def __post_init__(self) -> None:
+        self.addrs = np.asarray(self.addrs, dtype=np.int64)
+        self.writes = np.asarray(self.writes, dtype=bool)
+        self.gaps = np.asarray(self.gaps, dtype=np.int64)
         if not (len(self.addrs) == len(self.writes) == len(self.gaps)):
             raise ValueError("trace columns must have equal length")
+        self._instructions: int | None = None
+        self._columns: tuple[list, list, list] | None = None
+        self._records: dict[int, list[tuple]] = {}
+        self._retire_records: dict[tuple, tuple[list[tuple], list[int]]] = {}
 
     def __len__(self) -> int:
         return len(self.addrs)
 
     @property
     def instructions(self) -> int:
-        """Total instructions represented (each record is 1 memory op + gap)."""
-        return sum(self.gaps) + len(self.gaps)
+        """Total instructions represented (each record is 1 memory op + gap).
+
+        Cached after the first computation -- the columns are treated as
+        immutable once the trace is built.
+        """
+        if self._instructions is None:
+            self._instructions = int(self.gaps.sum()) + len(self.gaps)
+        return self._instructions
 
     @property
     def write_fraction(self) -> float:
-        return (sum(self.writes) / len(self.writes)) if self.writes else 0.0
+        return float(self.writes.mean()) if len(self.writes) else 0.0
 
     def distinct_lines(self) -> int:
-        return len(set(self.addrs))
+        return int(np.unique(self.addrs).size) if len(self.addrs) else 0
 
     def records(self):
-        """Iterate ``(addr, is_write, gap)`` tuples."""
-        return zip(self.addrs, self.writes, self.gaps)
+        """Iterate ``(addr, is_write, gap)`` tuples (plain Python scalars)."""
+        return zip(*self.columns())
+
+    def columns(self) -> tuple[list, list, list]:
+        """The three columns as plain Python lists, materialised once.
+
+        This is the scalar hot loop's view of the trace: list indexing
+        yields native ints/bools (cheaper per record than NumPy scalar
+        extraction), and the single cached materialisation is shared by
+        every cursor and every technique run over this trace.
+        """
+        cols = self._columns
+        if cols is None:
+            cols = (
+                self.addrs.tolist(),
+                self.writes.tolist(),
+                self.gaps.tolist(),
+            )
+            self._columns = cols
+        return cols
+
+    def records_list(self, offset: int = 0) -> list[tuple]:
+        """``(addr | offset, is_write, gap)`` tuples, materialised once.
+
+        The fast simulation loops fetch one tuple per record (a single
+        list subscript plus an unpack) instead of indexing three parallel
+        columns, and the per-core address offset is baked in up front so
+        the hot path never pays the OR.  Cached per offset and shared by
+        every run over this trace.
+        """
+        recs = self._records.get(offset)
+        if recs is None:
+            addrs, writes, gaps = self.columns()
+            if offset:
+                addrs = [addr | offset for addr in addrs]
+            recs = list(zip(addrs, writes, gaps))
+            self._records[offset] = recs
+        return recs
+
+    def retire_records(
+        self, offset: int, base_cpi: float
+    ) -> tuple[list[tuple], list[int]]:
+        """Per-record retire view: ``(addr, is_write, gi*cpi, gi)`` + cumsum.
+
+        ``gi = gap + 1`` is the record's instruction count and ``gi * cpi``
+        its precomputed base cycle cost -- bit-identical to computing the
+        product per record, since the operands are the same.  The second
+        element is the running instruction total through each record, which
+        lets the fast loops reconstruct the instruction counter at chunk
+        boundaries instead of incrementing it per record.  Cached per
+        (offset, cpi) and shared by every run over this trace.
+        """
+        key = (offset, base_cpi)
+        cached = self._retire_records.get(key)
+        if cached is None:
+            addrs, writes, gaps = self.columns()
+            if offset:
+                addrs = [addr | offset for addr in addrs]
+            gis = [gap + 1 for gap in gaps]
+            recs = list(zip(addrs, writes, [gi * base_cpi for gi in gis], gis))
+            gi_cum = list(itertools.accumulate(gis))
+            cached = self._retire_records[key] = (recs, gi_cum)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Pickling (parallel sweep workers)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # Ship only the compact NumPy columns; the cached list
+        # materialisation is rebuilt lazily on the receiving side.
+        state = dict(self.__dict__)
+        state["_instructions"] = None
+        state["_columns"] = None
+        state["_records"] = {}
+        state["_retire_records"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -86,9 +183,9 @@ class Trace:
         np.savez_compressed(
             str(path),
             name=np.array(self.name),
-            addrs=np.asarray(self.addrs, dtype=np.int64),
-            writes=np.asarray(self.writes, dtype=bool),
-            gaps=np.asarray(self.gaps, dtype=np.int64),
+            addrs=self.addrs,
+            writes=self.writes,
+            gaps=self.gaps,
             base_cpi=np.array(self.base_cpi),
             mem_mlp=np.array(self.mem_mlp),
             footprint_lines=np.array(self.footprint_lines),
@@ -96,15 +193,26 @@ class Trace:
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
+        """Load a ``.npz`` trace; the columns stay NumPy arrays.
+
+        Optional scalar fields (``mem_mlp``, ``footprint_lines``) default
+        when absent, so archives written by older versions that predate
+        those fields still load.
+        """
         with np.load(str(path)) as data:
+            files = set(data.files)
             return cls(
                 name=str(data["name"]),
-                addrs=data["addrs"].tolist(),
-                writes=data["writes"].tolist(),
-                gaps=data["gaps"].tolist(),
-                base_cpi=float(data["base_cpi"]),
-                mem_mlp=float(data["mem_mlp"]),
-                footprint_lines=int(data["footprint_lines"]),
+                addrs=data["addrs"],
+                writes=data["writes"],
+                gaps=data["gaps"],
+                base_cpi=float(data["base_cpi"]) if "base_cpi" in files else 1.0,
+                mem_mlp=float(data["mem_mlp"]) if "mem_mlp" in files else 1.0,
+                footprint_lines=(
+                    int(data["footprint_lines"])
+                    if "footprint_lines" in files
+                    else 0
+                ),
             )
 
     def to_bytes(self) -> bytes:
@@ -112,9 +220,9 @@ class Trace:
         np.savez_compressed(
             buf,
             name=np.array(self.name),
-            addrs=np.asarray(self.addrs, dtype=np.int64),
-            writes=np.asarray(self.writes, dtype=bool),
-            gaps=np.asarray(self.gaps, dtype=np.int64),
+            addrs=self.addrs,
+            writes=self.writes,
+            gaps=self.gaps,
             base_cpi=np.array(self.base_cpi),
             mem_mlp=np.array(self.mem_mlp),
             footprint_lines=np.array(self.footprint_lines),
@@ -129,9 +237,14 @@ class TraceCursor:
     that exhausts its trace before its co-runner keeps executing (the trace
     wraps around), but statistics for its speedup are recorded only for the
     first pass.
+
+    The cursor reads the trace's cached scalar columns (shared across all
+    cursors over the same trace); :meth:`chunk_view` additionally exposes
+    zero-copy NumPy slices of the remaining first-pass records for
+    vectorised consumers and the chunked fast loop.
     """
 
-    __slots__ = ("trace", "index", "wraps")
+    __slots__ = ("trace", "index", "wraps", "_addrs", "_writes", "_gaps")
 
     def __init__(self, trace: Trace) -> None:
         if len(trace) == 0:
@@ -139,19 +252,51 @@ class TraceCursor:
         self.trace = trace
         self.index = 0
         self.wraps = 0
+        self._addrs, self._writes, self._gaps = trace.columns()
 
     @property
     def first_pass_done(self) -> bool:
         return self.wraps > 0
 
+    def columns(self) -> tuple[list, list, list]:
+        """The trace's shared scalar columns (hot-loop view)."""
+        return self._addrs, self._writes, self._gaps
+
     def next_record(self) -> tuple[int, bool, int]:
         """Return the next ``(addr, is_write, gap)``, wrapping at the end."""
-        t = self.trace
         i = self.index
-        rec = (t.addrs[i], t.writes[i], t.gaps[i])
+        rec = (self._addrs[i], self._writes[i], self._gaps[i])
         i += 1
-        if i >= len(t.addrs):
+        if i >= len(self._addrs):
             i = 0
             self.wraps += 1
         self.index = i
         return rec
+
+    def chunk_view(
+        self, max_records: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy views of up to ``max_records`` upcoming records.
+
+        The views never cross the wrap point: at most ``len(trace) -
+        index`` records are returned, so a caller consuming the full view
+        lands exactly on the record boundary where the wrap (and the
+        first-pass IPC snapshot) must be recorded.  The cursor itself is
+        not advanced; pair with :meth:`advance`.
+        """
+        if max_records < 1:
+            raise ValueError("chunk must cover at least one record")
+        t = self.trace
+        i = self.index
+        j = min(i + max_records, len(t.addrs))
+        return t.addrs[i:j], t.writes[i:j], t.gaps[i:j]
+
+    def advance(self, count: int) -> None:
+        """Consume ``count`` records, with the same wrap accounting as
+        ``count`` calls to :meth:`next_record`."""
+        if count < 0:
+            raise ValueError("cannot advance backwards")
+        n = len(self._addrs)
+        i = self.index + count
+        self.wraps += i // n
+        self.index = i % n

@@ -154,6 +154,18 @@ class TestWayGating:
             cache.access(addr_for(cache, 0, t), False)
         assert all(cache.contains(addr_for(cache, 0, t)) for t in range(1, 5))
 
+    def test_no_enabled_way_raises_instead_of_corrupting(self, cache):
+        # Regression: with every way gated and none invalid-enabled, the
+        # victim scan used to fall through with -1 and the fill landed in
+        # ``cset.base - 1`` -- the *previous set's* last way.  It must be
+        # an error instead.
+        cache.sets[1].n_active = 0
+        with pytest.raises(RuntimeError, match="no enabled way"):
+            cache.access(addr_for(cache, 1, 7), False)
+        # The neighbouring set's state was not touched.
+        assert cache.sets[0].tags == [None] * cache.associativity
+        assert not cache.state.valid[: cache.associativity].any()
+
 
 class TestStateMirror:
     def test_valid_mirror_tracks_fills(self, cache):

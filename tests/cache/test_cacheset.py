@@ -21,8 +21,21 @@ class TestFind:
         assert cset.find(42) == -1
 
     def test_find_present(self, cset):
-        cset.tags[2] = 42
+        cset.install(2, 42)
         assert cset.find(42) == 2
+
+    def test_install_replaces_old_tag(self, cset):
+        cset.install(2, 42)
+        cset.install(2, 77)
+        assert cset.find(42) == -1
+        assert cset.find(77) == 2
+
+    def test_drop_way_forgets_tag(self, cset):
+        cset.install(1, 13)
+        assert cset.drop_way(1) == 13
+        assert cset.find(13) == -1
+        assert cset.tags[1] is None
+        assert cset.drop_way(1) is None
 
 
 class TestVictim:
@@ -49,7 +62,7 @@ class TestFlush:
         assert tag is None and not dirty
 
     def test_flush_clean_line(self, cset, state):
-        cset.tags[0] = 99
+        cset.install(0, 99)
         g = state.gidx(1, 0)
         state.valid[g] = True
         tag, dirty = cset.flush_way(0, state)
@@ -58,7 +71,7 @@ class TestFlush:
         assert not state.valid[g]
 
     def test_flush_dirty_line_reports_dirty(self, cset, state):
-        cset.tags[3] = 7
+        cset.install(3, 7)
         g = state.gidx(1, 3)
         state.valid[g] = True
         state.dirty[g] = True
@@ -69,17 +82,23 @@ class TestFlush:
 
 class TestInvariants:
     def test_consistent_state_passes(self, cset, state):
-        cset.tags[0] = 5
+        cset.install(0, 5)
         state.valid[state.gidx(1, 0)] = True
         cset.check_invariants(state)
 
     def test_detects_valid_mirror_desync(self, cset, state):
-        cset.tags[0] = 5  # valid mirror not updated
+        cset.install(0, 5)  # valid mirror not updated
+        with pytest.raises(AssertionError):
+            cset.check_invariants(state)
+
+    def test_detects_tag_map_desync(self, cset, state):
+        cset.tags[0] = 5  # raw write bypasses the tag -> way map
+        state.valid[state.gidx(1, 0)] = True
         with pytest.raises(AssertionError):
             cset.check_invariants(state)
 
     def test_detects_line_in_disabled_way(self, cset, state):
-        cset.tags[3] = 5
+        cset.install(3, 5)
         state.valid[state.gidx(1, 3)] = True
         cset.n_active = 2
         with pytest.raises(AssertionError):
@@ -88,7 +107,7 @@ class TestInvariants:
     def test_leader_may_hold_lines_in_all_ways(self, state):
         leader = CacheSet(index=0, associativity=4, is_leader=True)
         leader.n_active = 2  # even if shrunk, leaders keep lines anywhere
-        leader.tags[3] = 5
+        leader.install(3, 5)
         state.valid[state.gidx(0, 3)] = True
         leader.check_invariants(state)
 

@@ -57,6 +57,51 @@ class TestParallelCompare:
             )
 
 
+class TestTracePreloading:
+    """Parent-generated traces ride to workers instead of being rebuilt."""
+
+    def test_worker_task_uses_preloaded_trace(self):
+        from repro.experiments import _trace_cache
+        from repro.experiments.parallel import _trace_needs_for, _workload_task
+        from repro.workloads.profiles import get_profile
+
+        config = SimConfig.scaled(**CFG_KW)
+        needs = _trace_needs_for(config, "gamess", 0)
+        assert [p.name for _, p in needs] == ["gamess"]
+        (key, profile), = needs
+        trace = _trace_cache.get_trace(profile, key[1], key[2])
+        _trace_cache.clear()
+        # After the worker installs the shipped trace, the runner's own
+        # lookup must return the very same object -- no regeneration.
+        _workload_task((config, "gamess", ("esteem",), 0, {key: trace}))
+        assert _trace_cache.get_trace(get_profile("gamess"), key[1], key[2]) is trace
+
+    def test_dual_core_needs_cover_every_mix_member(self):
+        from repro.experiments.parallel import _trace_needs_for
+        from repro.workloads.multiprog import get_mix
+
+        config = SimConfig.scaled(num_cores=2, **CFG_KW)
+        needs = _trace_needs_for(config, "GkNe", 3)
+        assert [p.name for _, p in needs] == [
+            p.name for p in get_mix("GkNe").profiles
+        ]
+        for (name, budget, seed), profile in needs:
+            assert name == profile.name
+            assert budget == config.instructions_per_core
+            assert seed == 3
+
+    def test_parallel_results_unchanged_by_preloading(self):
+        # End to end across real processes: shipping traces must not
+        # perturb results (they are the same arrays the worker would
+        # have generated).
+        config = SimConfig.scaled(**CFG_KW)
+        out = parallel_compare(config, ["gamess"], ("esteem",), jobs=2)
+        sequential = Runner(config).compare(
+            "gamess", "esteem"
+        )
+        assert out["esteem"][0].result.total_cycles == sequential.result.total_cycles
+
+
 class TestWorkerFailures:
     def test_failure_names_the_workload_inline(self):
         with pytest.raises(ParallelWorkerError) as excinfo:

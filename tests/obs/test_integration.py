@@ -83,6 +83,39 @@ class TestTracing:
         assert system.engine.tracer is None
 
 
+class TestFastLoopObservability:
+    """The chunked fast loop must feed observability identically to the
+    reference loop -- same events, same order, same payloads."""
+
+    def _traced(self, reference_loop):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        trace = generate_trace(
+            get_profile("h264ref"), CFG.instructions_per_core, seed=0
+        )
+        System(
+            CFG,
+            [trace],
+            "esteem",
+            tracer=tracer,
+            metrics=metrics,
+            reference_loop=reference_loop,
+        ).run()
+        return tracer, metrics
+
+    def test_event_stream_identical_to_reference_loop(self):
+        fast_tracer, _ = self._traced(reference_loop=False)
+        ref_tracer, _ = self._traced(reference_loop=True)
+        fast_events = [(e.type, e.cycle, e.data) for e in fast_tracer.events()]
+        ref_events = [(e.type, e.cycle, e.data) for e in ref_tracer.events()]
+        assert fast_events == ref_events
+
+    def test_metrics_identical_to_reference_loop(self):
+        _, fast_metrics = self._traced(reference_loop=False)
+        _, ref_metrics = self._traced(reference_loop=True)
+        assert fast_metrics.snapshot() == ref_metrics.snapshot()
+
+
 class TestMetrics:
     def test_run_counters_recorded(self):
         reg = MetricsRegistry()

@@ -192,6 +192,44 @@ class TestDualCore:
         assert max(c.wraps for c in res.cores) >= 1
         assert res.cores[0].wraps + res.cores[1].wraps >= 2
 
+    def test_early_finisher_first_pass_at_exact_record_boundary(self):
+        # Hand-built traces whose instruction total lands *exactly* on the
+        # per-core budget: the first-pass snapshot coincides with the wrap,
+        # and the early finisher's first-pass IPC must be taken from that
+        # exact record, identically on the fast and reference loops.
+        cfg = self.make_dual_config()
+        n = cfg.instructions_per_core // 10  # gap 9 -> 10 instructions/record
+        fast_trace = Trace(
+            name="fastcore",
+            addrs=[(7 * i) % 64 for i in range(n)],
+            writes=[False] * n,
+            gaps=[9] * n,
+        )
+        slow = generate_trace(
+            small_profile("slow", gap=500.0), cfg.instructions_per_core, 1
+        )
+        assert fast_trace.instructions == cfg.instructions_per_core
+        res = System(cfg, [fast_trace, slow], "baseline").run()
+        ref = System(
+            cfg, [fast_trace, slow], "baseline", reference_loop=True
+        ).run()
+        core0 = res.cores[0]
+        assert core0.first_pass_instructions == cfg.instructions_per_core
+        assert core0.wraps >= 1
+        assert core0.ipc == pytest.approx(
+            core0.first_pass_instructions / core0.first_pass_cycles
+        )
+        for c, r in zip(res.cores, ref.cores):
+            assert (c.first_pass_instructions, c.first_pass_cycles) == (
+                r.first_pass_instructions,
+                r.first_pass_cycles,
+            )
+            assert (c.total_instructions, c.wraps, c.ipc) == (
+                r.total_instructions,
+                r.wraps,
+                r.ipc,
+            )
+
     def test_address_spaces_disjoint(self):
         cfg = self.make_dual_config()
         t = generate_trace(small_profile("a"), cfg.instructions_per_core, 0)

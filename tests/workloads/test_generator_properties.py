@@ -1,5 +1,6 @@
 """Property-based tests for the synthetic trace generator."""
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.workloads.profiles import BenchmarkProfile
@@ -81,4 +82,6 @@ def test_generation_is_deterministic_per_seed(seed):
     )
     a = SyntheticTraceGenerator(profile, seed=seed).generate(50_000)
     b = SyntheticTraceGenerator(profile, seed=seed).generate(50_000)
-    assert a.addrs == b.addrs and a.gaps == b.gaps and a.writes == b.writes
+    assert np.array_equal(a.addrs, b.addrs)
+    assert np.array_equal(a.gaps, b.gaps)
+    assert np.array_equal(a.writes, b.writes)

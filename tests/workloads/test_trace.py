@@ -1,5 +1,6 @@
 """Unit tests for trace containers and cursors."""
 
+import numpy as np
 import pytest
 
 from repro.workloads.trace import Trace, TraceCursor
@@ -48,15 +49,50 @@ class TestSerialisation:
         trace.save(path)
         loaded = Trace.load(path)
         assert loaded.name == trace.name
-        assert loaded.addrs == trace.addrs
-        assert loaded.writes == trace.writes
-        assert loaded.gaps == trace.gaps
+        assert np.array_equal(loaded.addrs, trace.addrs)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert np.array_equal(loaded.gaps, trace.gaps)
         assert loaded.base_cpi == trace.base_cpi
         assert loaded.mem_mlp == trace.mem_mlp
         assert loaded.footprint_lines == trace.footprint_lines
 
     def test_to_bytes_nonempty(self, trace):
         assert len(trace.to_bytes()) > 0
+
+    def test_pickle_roundtrip_rebuilds_caches(self, trace):
+        # The pickle path (parallel sweep workers) ships only the NumPy
+        # columns; cached list/record views must be rebuilt lazily on the
+        # other side, not carried across.
+        import pickle
+
+        _ = trace.columns()  # populate caches before pickling
+        _ = trace.retire_records(0, trace.base_cpi)
+        loaded = pickle.loads(pickle.dumps(trace))
+        assert np.array_equal(loaded.addrs, trace.addrs)
+        assert np.array_equal(loaded.writes, trace.writes)
+        assert np.array_equal(loaded.gaps, trace.gaps)
+        assert loaded.instructions == trace.instructions
+        assert loaded.columns() == trace.columns()
+        recs, gi_cum = loaded.retire_records(0, loaded.base_cpi)
+        ref_recs, ref_cum = trace.retire_records(0, trace.base_cpi)
+        assert recs == ref_recs and gi_cum == ref_cum
+
+    def test_load_defaults_missing_optional_fields(self, trace, tmp_path):
+        # Archives written before base_cpi / mem_mlp / footprint_lines
+        # existed carry only the columns; load must default the rest.
+        path = tmp_path / "old.npz"
+        np.savez(
+            path,
+            name=np.array(trace.name),
+            addrs=trace.addrs,
+            writes=trace.writes,
+            gaps=trace.gaps,
+        )
+        loaded = Trace.load(path)
+        assert np.array_equal(loaded.addrs, trace.addrs)
+        assert loaded.base_cpi == 1.0
+        assert loaded.mem_mlp == 1.0
+        assert loaded.footprint_lines == 0
 
 
 class TestCursor:
