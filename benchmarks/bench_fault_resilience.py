@@ -1,0 +1,177 @@
+"""Resilience benchmark: the sweep harness vs scripted chaos.
+
+Drives both planes of the fault subsystem through one scenario:
+
+* ``gamess`` crashes hard on its first attempt (worker dies without a
+  traceback) and must recover via retry;
+* ``h264ref`` hangs on its first attempt, trips the wall-clock timeout,
+  is terminated, and must recover via retry;
+* ``libquantum`` crashes on *every* attempt and must land in the
+  degraded-result manifest instead of aborting the sweep;
+* every run also carries a Plane-1 hardware-fault plan, so the surviving
+  results must additionally match a clean sequential run under the same
+  injected eDRAM faults -- bit for bit;
+* finally the sweep is resumed from its checkpoint and must come back
+  instantly (zero new attempts) with identical results.
+
+Runs standalone (``python benchmarks/bench_fault_resilience.py``, exit 0
+on success) for the CI chaos-smoke job, or under pytest-benchmark like
+the other benches.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro.config import SimConfig
+from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.experiments.parallel import resilient_sweep
+from repro.experiments.runner import Runner
+from repro.faults import FaultEvent, FaultPlan
+from repro.obs import Tracer
+from repro.obs.trace import EVENT_FAULT_INJECT
+
+WORKLOADS = ["gamess", "h264ref", "libquantum"]
+TECHNIQUES = ("esteem",)
+SEED = 0
+
+#: Small fixed scale: the scenario tests the harness, not the simulator;
+#: the whole bench (several sweeps + a traced run) must stay under the CI
+#: job's 2-minute budget.
+INSTRUCTIONS = 200_000
+INTERVAL = 100_000
+
+PLAN = FaultPlan(
+    seed=11,
+    flip_rate=2e-4,
+    events=(FaultEvent(set_index=5, way=2, cycle=150_000, bits=2),),
+    chaos={
+        "gamess": ("crash",),          # dies once, recovers on retry
+        "h264ref": ("hang",),          # hangs once, recovers after timeout
+        "libquantum": ("crash",) * 8,  # permanently broken -> degraded
+    },
+    hang_seconds=30.0,
+)
+
+#: The same plan with Plane 2 stripped: the reference for what the
+#: surviving workloads' results must be.
+CLEAN_PLAN = FaultPlan.from_dict(
+    {k: v for k, v in PLAN.as_dict().items() if k != "chaos"}
+)
+
+
+def _config() -> SimConfig:
+    return SimConfig.scaled(
+        instructions_per_core=INSTRUCTIONS
+    ).with_esteem(interval_cycles=INTERVAL)
+
+
+def run_scenario() -> dict:
+    config = _config()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_path = os.path.join(tmp, "sweep.ckpt.jsonl")
+
+        chaos_result = resilient_sweep(
+            config,
+            WORKLOADS,
+            TECHNIQUES,
+            seed=SEED,
+            jobs=2,
+            timeout_s=5.0,
+            retries=2,
+            backoff_s=0.1,
+            checkpoint=ckpt_path,
+            plan=PLAN,
+        )
+
+        # Degradation contract: the permanently-broken workload is in the
+        # manifest, the other two completed, nothing raised.
+        assert chaos_result.degraded, "permanent crasher must degrade the sweep"
+        assert [f.workload for f in chaos_result.failed] == ["libquantum"]
+        assert chaos_result.failed[0].attempts == 3, "1 attempt + 2 retries"
+        assert chaos_result.failed[0].exc_type == "WorkerCrash"
+        assert sorted(chaos_result.completed) == ["gamess", "h264ref"]
+        assert chaos_result.retries >= 2, "crash and hang must each retry"
+
+        # Survivors must be bit-for-bit identical to a clean sequential
+        # run under the same Plane-1 hardware faults.
+        clean = Runner(config, seed=SEED, fault_plan=CLEAN_PLAN)
+        for comp in chaos_result.comparisons["esteem"]:
+            ref = clean.compare(comp.workload, comp.technique)
+            assert comp.result == ref.result, comp.workload
+            assert comp.baseline == ref.baseline, comp.workload
+
+        # Hardware faults actually fired in the surviving runs.
+        by_workload = {
+            c.workload: c for c in chaos_result.comparisons["esteem"]
+        }
+        assert any(
+            c.result.faults_injected > 0 for c in by_workload.values()
+        ), "the Plane-1 plan must inject at least one fault"
+
+        # Resume: everything completed comes back from the checkpoint
+        # with zero new attempts; the failed workload is retried (and,
+        # still scripted to crash, fails again).
+        resumed = resilient_sweep(
+            config,
+            WORKLOADS,
+            TECHNIQUES,
+            seed=SEED,
+            jobs=2,
+            timeout_s=5.0,
+            retries=0,
+            backoff_s=0.1,
+            checkpoint=ckpt_path,
+            resume=True,
+            plan=PLAN,
+        )
+        assert sorted(resumed.resumed) == ["gamess", "h264ref"]
+        assert resumed.attempts == 1, "only the failed workload re-runs"
+        for comp in resumed.comparisons["esteem"]:
+            ref = by_workload[comp.workload]
+            assert comp.result == ref.result, "resume must be bit-for-bit"
+
+        # The checkpoint file itself round-trips exactly.
+        fp = sweep_fingerprint(config, TECHNIQUES, SEED, PLAN)
+        ckpt = SweepCheckpoint.load(ckpt_path, fp)
+        assert ckpt.units == 2
+
+    # Plane-1 visibility: a traced run under the plan emits fault.inject.
+    tracer = Tracer()
+    traced = Runner(config, seed=SEED, tracer=tracer, fault_plan=CLEAN_PLAN)
+    traced.run("gamess", "esteem")
+    n_fault_events = tracer.tally().get(EVENT_FAULT_INJECT, 0)
+    assert n_fault_events > 0, "injected faults must be trace-visible"
+
+    return {
+        "attempts": chaos_result.attempts,
+        "retries": chaos_result.retries,
+        "failed": [f.workload for f in chaos_result.failed],
+        "resumed": sorted(resumed.resumed),
+        "fault_events": n_fault_events,
+    }
+
+
+def bench_fault_resilience(run_once):
+    summary = run_once(run_scenario)
+    from conftest import emit
+
+    emit(
+        "fault_resilience",
+        "\n".join(f"{k}: {v}" for k, v in sorted(summary.items())),
+    )
+
+
+def main() -> int:
+    summary = run_scenario()
+    print("chaos scenario survived degraded-but-correct:")
+    for k, v in sorted(summary.items()):
+        print(f"  {k}: {v}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

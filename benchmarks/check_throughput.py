@@ -35,6 +35,7 @@ import time
 from pathlib import Path
 
 from repro.config import SimConfig
+from repro.util import atomic_write_json
 from repro.timing.system import System
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import generate_trace
@@ -108,7 +109,7 @@ def main(argv: list[str] | None = None) -> int:
                 "machine-independent figure (same-process comparison)"
             ),
         }
-        BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
+        atomic_write_json(BASELINE_PATH, record)
         print(f"baseline written to {BASELINE_PATH}")
         return 0
 

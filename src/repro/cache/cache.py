@@ -268,6 +268,27 @@ class SetAssociativeCache:
             return -1
         return cset.order.index(way)
 
+    def invalidate_line(self, g: int) -> tuple[int | None, bool]:
+        """Drop the line at global index ``g`` (tag map kept in sync).
+
+        Returns ``(evicted_tag, was_dirty)``.  This is the shared
+        uncorrectable-loss path used by the ECC-extended refresh engine
+        and the fault injector: the line's tag is removed from its set,
+        the valid/dirty mirrors are cleared, and the phase-window stamp is
+        reset so polyphase refresh policies stop tracking it.  The way's
+        recency position is left alone -- an invalid way already wins
+        victim arbitration.
+        """
+        a = self.associativity
+        cset = self.sets[g // a]
+        tag = cset.drop_way(g % a)
+        state = self.state
+        was_dirty = bool(state.dirty[g])
+        state.valid[g] = False
+        state.dirty[g] = False
+        state.last_window[g] = -1
+        return tag, was_dirty
+
     def invalidate_all(self) -> None:
         """Drop every line (no writebacks; test helper)."""
         for cset in self.sets:

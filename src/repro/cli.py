@@ -9,6 +9,7 @@ Subcommands::
     repro table 3 --system single      # regenerate Table 3 rows
     repro overhead --sets 4096 --ways 16 --modules 16   # Eq. 1
     repro trace -w h264ref -t esteem --format jsonl     # event trace dump
+    repro sweep -w gamess,povray --resume --inject PLAN.json  # resilient sweep
 
 All experiment subcommands accept ``--instructions`` (trace scale),
 ``--retention`` (us), and the ESTEEM knobs (``--alpha``, ``--a-min``,
@@ -297,6 +298,24 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_plan(args: argparse.Namespace):
+    """The FaultPlan named by ``--inject``, or None.
+
+    Raises ``SystemExit(2)`` with a stderr message on an unreadable or
+    invalid plan file (a usage error, not a crash).
+    """
+    path = getattr(args, "inject", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    try:
+        return FaultPlan.load(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     """Run one (workload, technique) pair and dump its event trace."""
     from repro.obs import Tracer
@@ -304,7 +323,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     config = _build_config(args)
     tracer = Tracer(capacity=args.capacity)
     profiler = _make_profiler(args)
-    runner = Runner(config, seed=args.seed, tracer=tracer, profiler=profiler)
+    runner = Runner(
+        config,
+        seed=args.seed,
+        tracer=tracer,
+        profiler=profiler,
+        fault_plan=_load_plan(args),
+    )
     result = runner.run(args.workload, args.technique)
 
     if args.format == "jsonl":
@@ -334,6 +359,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     _finish_profile(profiler)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Resilient multi-workload sweep: timeouts, retries, checkpoint/resume.
+
+    Exit status: 0 for a complete sweep, 3 for a *degraded* one (some
+    workloads exhausted their retries; surviving results were still
+    reported and checkpointed).
+    """
+    from repro.experiments.parallel import resilient_sweep
+
+    config = _build_config(args)
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if config.num_cores == 1:
+        workloads = [b.name for b in ALL_BENCHMARKS]
+    else:
+        workloads = [m.acronym for m in DUAL_CORE_MIXES]
+    if args.workloads:
+        workloads = args.workloads.split(",")
+
+    result = resilient_sweep(
+        config,
+        workloads,
+        tuple(args.technique),
+        seed=args.seed,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        plan=_load_plan(args),
+        progress=not args.quiet,
+    )
+
+    rows = []
+    for technique, comps in result.comparisons.items():
+        if not comps:
+            continue
+        agg = aggregate(comps)
+        rows.append(
+            [technique, agg.workloads, agg.energy_saving_pct,
+             agg.weighted_speedup, agg.rpki_decrease, agg.mpki_increase,
+             agg.active_ratio_pct]
+        )
+    if rows:
+        print(format_table(
+            ["technique", "n", "saving %", "WS", "dRPKI", "dMPKI", "active %"],
+            rows,
+            title=f"sweep: {len(result.completed)}/{len(workloads)} workloads"
+                  + (f" ({len(result.resumed)} resumed)" if result.resumed else ""),
+        ))
+    if args.csv:
+        from repro.experiments.export import write_comparisons_csv
+
+        all_comps = [c for comps in result.comparisons.values() for c in comps]
+        path = write_comparisons_csv(all_comps, args.csv)
+        print(f"CSV written to {path}")
+    if args.manifest:
+        from repro.util import atomic_write_json
+
+        atomic_write_json(args.manifest, result.manifest())
+        print(f"manifest written to {args.manifest}")
+    if result.degraded:
+        print(
+            f"DEGRADED: {len(result.failed)} workload(s) lost after "
+            f"{result.attempts} attempts ({result.retries} retries):",
+            file=sys.stderr,
+        )
+        for f in result.failed:
+            print(
+                f"  {f.workload}: [{f.exc_type}] after {f.attempts} "
+                f"attempt(s)",
+                file=sys.stderr,
+            )
+        return 3
+    if not args.quiet:
+        print(
+            f"sweep complete: {len(result.completed)} workload(s), "
+            f"{result.attempts} attempt(s), {result.retries} retried",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -450,7 +560,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(trc)
     # Default to the quick bench scale so the emitted interval-decision
     # sequence matches benchmarks/results/fig2_reconfig_timeline.txt.
+    trc.add_argument("--inject", default=None, metavar="PLAN.json",
+                     help="fault plan whose hardware faults are injected "
+                          "(events show up as fault.inject in the trace)")
     trc.set_defaults(instructions=4_000_000)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="resilient multi-workload sweep with checkpoint/resume, "
+             "timeouts and retries",
+    )
+    swp.add_argument("--workloads", default=None,
+                     help="comma-separated workload subset (default: all "
+                          "Table 1 workloads for the core count)")
+    swp.add_argument(
+        "-t", "--technique", nargs="+", default=["esteem", "rpv"],
+        choices=[t for t in TECHNIQUES],
+    )
+    swp.add_argument("--timeout", type=float, default=None,
+                     help="per-attempt wall-clock timeout in seconds "
+                          "(hung workers are terminated and retried)")
+    swp.add_argument("--retries", type=int, default=2,
+                     help="retry budget per workload for transient "
+                          "failures (default: 2)")
+    swp.add_argument("--backoff", type=float, default=0.5,
+                     help="base retry backoff in seconds, doubled per "
+                          "attempt (default: 0.5)")
+    swp.add_argument("--checkpoint", default=None, metavar="FILE.jsonl",
+                     help="persist completed workloads (atomic JSONL)")
+    swp.add_argument("--resume", action="store_true",
+                     help="skip workloads already in --checkpoint")
+    swp.add_argument("--inject", default=None, metavar="PLAN.json",
+                     help="fault plan: hardware faults for every run, "
+                          "chaos actions for the workers")
+    swp.add_argument("--csv", default=None,
+                     help="write surviving comparisons as CSV")
+    swp.add_argument("--manifest", default=None, metavar="FILE.json",
+                     help="write the completion/failure manifest as JSON")
+    _add_machine_args(swp)
 
     ovh = sub.add_parser("overhead", help="evaluate Eq. 1 counter overhead")
     ovh.add_argument("--sets", type=int, default=4096)
@@ -480,6 +627,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
         "trace-stats": _cmd_trace_stats,
+        "sweep": _cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -71,6 +71,12 @@ class EsteemController:
         )
         #: Timeline of every interval decision (Figure 2 raw data).
         self.timeline: list[IntervalDecision] = []
+        #: Optional :class:`~repro.faults.inject.FaultInjector` (set by the
+        #: owning system when a fault plan is active) so interval-decision
+        #: trace events carry the cumulative fault counts: reconfiguration
+        #: decisions and injected faults can then be correlated on one
+        #: timeline in ``repro trace`` output.
+        self.fault_injector = None
         self._interval_index = 0
         self._delta_transitions = 0
         self._delta_flush_writebacks = 0
@@ -120,6 +126,13 @@ class EsteemController:
         self.timeline.append(record)
         tracer = self.tracer
         if tracer is not None:
+            extra = {}
+            injector = self.fault_injector
+            if injector is not None:
+                extra = {
+                    "faults_injected": injector.injected,
+                    "fault_data_loss": injector.data_loss,
+                }
             tracer.emit(
                 EVENT_INTERVAL_DECISION,
                 now_cycle,
@@ -130,6 +143,7 @@ class EsteemController:
                 transitions=record.transitions,
                 flush_writebacks=record.flush_writebacks,
                 clean_discards=record.clean_discards,
+                **extra,
             )
             if stats.modules_changed:
                 tracer.emit(

@@ -16,6 +16,9 @@ expected-value queueing model:
   busy with probability equal to the refresh occupancy ``rho``; counting the
   queueing interaction, the expected wait is ``rho / (1 - rho) * burst/2``
   (an M/D/1-style vacation term with deterministic burst service).
+* Sets are interleaved across banks low-order (:meth:`BankedRefreshScheduler.
+  bank_of_set`); the fault-injection subsystem uses this mapping to target
+  per-bank retention-fault rates.
 
 The model has the two properties the paper's results hinge on: the stall is
 monotonically increasing in refresh traffic, and it blows up as the refresh
@@ -46,6 +49,16 @@ class BankedRefreshScheduler:
     def lines_per_bank(self, lines_refreshed: int) -> float:
         """Refresh lines handled by each bank (even spread)."""
         return lines_refreshed / self.num_banks
+
+    def bank_of_set(self, set_index: int) -> int:
+        """Bank owning a cache set (low-order set-interleaved banking).
+
+        Consecutive sets live in consecutive banks, the standard layout
+        for spreading demand traffic.  The fault-injection subsystem uses
+        this mapping to resolve per-bank retention-fault rates onto
+        concrete cache lines.
+        """
+        return set_index % self.num_banks
 
     def busy_fraction(self, lines_refreshed: int, window_cycles: int) -> float:
         """Fraction of the window a bank spends refreshing (``rho``)."""

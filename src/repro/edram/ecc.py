@@ -122,18 +122,12 @@ class EccExtendedRefresh(RefreshEngine):
             n_fail = int(self._rng.binomial(count, self.p_uncorrectable))
             if n_fail:
                 victims = self._rng.choice(valid_idx, size=n_fail, replace=False)
-                a = self.cache.associativity
-                sets = self.cache.sets
-                dirty = state.dirty
+                invalidate = self.cache.invalidate_line
                 for g in victims:
-                    g = int(g)
-                    if dirty[g]:
+                    _tag, was_dirty = invalidate(int(g))
+                    if was_dirty:
                         self.data_loss_events += 1
                     else:
                         self.corruption_invalidations += 1
-                    sets[g // a].drop_way(g % a)
-                    state.valid[g] = False
-                    state.dirty[g] = False
-                    state.last_window[g] = -1
                 count -= n_fail
         return count

@@ -69,6 +69,17 @@ class RefreshEngine(ABC):
         #: Event tracer for refresh bursts (``None`` = disabled; the owning
         #: :class:`~repro.timing.system.System` injects an enabled one).
         self.tracer = None
+        #: Optional :class:`~repro.faults.inject.FaultInjector` consulted
+        #: at every refresh boundary (``None`` = no fault plan; the only
+        #: disabled cost is one ``is not None`` test per boundary, which
+        #: is maintenance-path, not per-record).  Injected retention
+        #: faults latch at the refresh boundary at/after their due cycle:
+        #: physically, a decayed cell's corruption is *discovered* when
+        #: the line is next refreshed or scrubbed, and latching keeps all
+        #: three simulation loops (reference / chunked / fast) on the
+        #: identical maintenance schedule, so faulted runs stay
+        #: loop-independent and bit-for-bit reproducible.
+        self.injector = None
 
     # ------------------------------------------------------------------
 
@@ -95,6 +106,7 @@ class RefreshEngine(ABC):
             return
         window = self.window_cycles
         tracer = self.tracer
+        injector = self.injector
         while nb <= cycle:
             count = self._lines_to_refresh(nb)
             self.total_refreshes += count
@@ -110,6 +122,11 @@ class RefreshEngine(ABC):
                     stall_cycles=self.current_stall,
                     boundary=self.boundaries - 1,
                 )
+            if injector is not None:
+                # Faults due in the window ending here manifest after the
+                # boundary's refresh has been counted (the refresh logic
+                # touched the line and found it corrupt).
+                injector.at_boundary(nb)
             nb += window
         self._next_boundary = nb
 

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.experiments.runner import RunComparison
+from repro.util import atomic_write
 
 __all__ = ["COMPARISON_FIELDS", "comparisons_to_csv", "write_comparisons_csv"]
 
@@ -69,7 +70,9 @@ def comparisons_to_csv(comparisons: Iterable[RunComparison]) -> str:
 def write_comparisons_csv(
     comparisons: Iterable[RunComparison], path: str | Path
 ) -> Path:
-    """Write comparisons to ``path``; returns the resolved path."""
-    path = Path(path)
-    path.write_text(comparisons_to_csv(comparisons))
-    return path
+    """Write comparisons to ``path`` atomically; returns the resolved path.
+
+    Atomic (write-to-temp + rename) so a sweep killed mid-export never
+    leaves a truncated CSV where a previous good one stood.
+    """
+    return atomic_write(Path(path), comparisons_to_csv(comparisons))

@@ -24,20 +24,55 @@ unpicklable exception from the pool.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import time
 import traceback
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as pipe_wait
+from typing import Any, Iterable, Sequence
 
 from repro.config import SimConfig
 from repro.experiments import _trace_cache
+from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.experiments.runner import RunComparison, Runner
+from repro.faults.chaos import ChaosWorkerProxy
+from repro.faults.plan import FaultPlan
 from repro.obs.profile import Profiler, ProgressReporter
 from repro.workloads.multiprog import get_mix
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
 
-__all__ = ["ParallelWorkerError", "parallel_compare"]
+__all__ = [
+    "FailedWorkload",
+    "ParallelWorkerError",
+    "SweepResult",
+    "TRANSIENT_EXC_TYPES",
+    "parallel_compare",
+    "resilient_sweep",
+]
+
+#: Worker exception type names the resilient sweep treats as *transient*
+#: (worth retrying): infrastructure deaths, not deterministic bugs in the
+#: unit itself.  A deterministic failure (assertion, ValueError, a
+#: scripted ChaosError) would fail identically on every retry, so it
+#: fails fast instead of burning the retry budget.
+TRANSIENT_EXC_TYPES: frozenset[str] = frozenset(
+    {
+        "TimeoutError",
+        "WorkerCrash",
+        "CorruptResult",
+        "BrokenProcessPool",
+        "BrokenPipeError",
+        "EOFError",
+        "ConnectionResetError",
+        "ConnectionError",
+        "OSError",
+        "MemoryError",
+    }
+)
 
 
 class ParallelWorkerError(RuntimeError):
@@ -45,16 +80,25 @@ class ParallelWorkerError(RuntimeError):
 
     The worker-side traceback is folded into the message because raw
     exceptions (with their tracebacks and possibly unpicklable payloads)
-    do not cross the process boundary reliably.
+    do not cross the process boundary reliably.  ``exc_type`` preserves
+    the *original* exception's type name across that flattening, so the
+    parent's retry logic can still distinguish transient infrastructure
+    failures from deterministic ones.
     """
 
-    def __init__(self, workload: str, detail: str) -> None:
-        super().__init__(workload, detail)
+    def __init__(
+        self, workload: str, detail: str, exc_type: str = "ParallelWorkerError"
+    ) -> None:
+        super().__init__(workload, detail, exc_type)
         self.workload = workload
         self.detail = detail
+        self.exc_type = exc_type
 
     def __str__(self) -> str:
-        return f"sweep worker failed on workload {self.workload!r}: {self.detail}"
+        return (
+            f"sweep worker failed on workload {self.workload!r} "
+            f"[{self.exc_type}]: {self.detail}"
+        )
 
 
 def _trace_needs_for(config: SimConfig, workload: str, seed: int) -> list[tuple]:
@@ -69,34 +113,40 @@ def _trace_needs_for(config: SimConfig, workload: str, seed: int) -> list[tuple]
 
 
 def _workload_task(
-    args: tuple[
-        SimConfig, str, tuple[str, ...], int, dict[tuple[str, int, int], Trace]
-    ],
+    args: tuple,
 ) -> tuple[list[RunComparison], float]:
     """Worker: all techniques for one workload (module-level: picklable).
+
+    ``args`` is ``(config, workload, techniques, seed, preloaded)`` with
+    an optional sixth element carrying a :class:`FaultPlan` whose
+    hardware faults (Plane 1) are injected into every simulated system.
 
     ``preloaded`` carries the parent's already-generated traces for this
     workload (the NumPy columns ride the pickle path; list/record caches
     are rebuilt lazily worker-side) -- the worker seeds its trace cache
     with them instead of regenerating.  Returns the comparisons plus the
     unit's wall time; failures are re-raised as
-    :class:`ParallelWorkerError` so the parent knows which workload died.
+    :class:`ParallelWorkerError` so the parent knows which workload died
+    and (via ``exc_type``) what kind of exception killed it.
     """
-    config, workload, techniques, seed, preloaded = args
+    config, workload, techniques, seed, preloaded, *rest = args
+    fault_plan: FaultPlan | None = rest[0] if rest else None
     for (name, budget, trace_seed), trace in preloaded.items():
         _trace_cache.put(name, budget, trace_seed, trace)
     profiler = Profiler()
     try:
         with profiler.span(f"worker:{workload}") as span:
-            runner = Runner(config, seed=seed)
+            runner = Runner(config, seed=seed, fault_plan=fault_plan)
             comparisons = [
                 runner.compare(workload, technique) for technique in techniques
             ]
         return comparisons, span.wall_s
     except ParallelWorkerError:
         raise
-    except Exception:
-        raise ParallelWorkerError(workload, traceback.format_exc()) from None
+    except Exception as exc:
+        raise ParallelWorkerError(
+            workload, traceback.format_exc(), type(exc).__name__
+        ) from None
 
 
 def parallel_compare(
@@ -179,3 +229,370 @@ def parallel_compare(
         for comparison in per_workload:
             out[comparison.technique].append(comparison)
     return out
+
+
+# ----------------------------------------------------------------------
+# Resilient sweep: timeouts, retries, checkpoint/resume, degradation
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailedWorkload:
+    """Manifest entry for a unit the sweep could not complete."""
+
+    workload: str
+    attempts: int
+    exc_type: str
+    detail: str
+
+
+@dataclass
+class SweepResult:
+    """Outcome of :func:`resilient_sweep`.
+
+    ``comparisons`` holds the surviving units keyed by technique (the
+    same shape :func:`parallel_compare` returns); ``failed`` is the
+    missing-workload manifest.  ``degraded`` is True when at least one
+    unit was abandoned -- the surviving results are still exact (each
+    unit is independent), the sweep is just incomplete.
+    """
+
+    comparisons: dict[str, list[RunComparison]]
+    completed: list[str]
+    failed: list[FailedWorkload] = field(default_factory=list)
+    resumed: list[str] = field(default_factory=list)
+    attempts: int = 0
+    retries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.failed)
+
+    def manifest(self) -> dict[str, Any]:
+        """JSON-able summary of what completed and what went missing."""
+        return {
+            "degraded": self.degraded,
+            "completed": list(self.completed),
+            "resumed": list(self.resumed),
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "failed": [
+                {
+                    "workload": f.workload,
+                    "attempts": f.attempts,
+                    "exc_type": f.exc_type,
+                    "detail": f.detail,
+                }
+                for f in self.failed
+            ],
+        }
+
+
+@dataclass
+class _Unit:
+    """Parent-side bookkeeping for one (workload, all-techniques) unit."""
+
+    index: int
+    workload: str
+    task: tuple
+    attempt: int = 0  # attempts already consumed
+    last_exc_type: str = ""
+    last_detail: str = ""
+
+
+def _resilient_entry(
+    conn, task: tuple, plan: FaultPlan | None, workload: str, attempt: int
+) -> None:
+    """Child-process entry point for one resilient-sweep attempt.
+
+    Runs :func:`_workload_task` (optionally wrapped in a
+    :class:`ChaosWorkerProxy` when the fault plan scripts Plane-2
+    misbehaviour for this attempt) and ships either ``("ok", result)`` or
+    ``("error", exc_type, detail)`` back through the pipe.  A chaos
+    ``crash`` never reaches the send -- the parent sees the pipe close
+    with no message, exactly like a real segfault.
+    """
+    try:
+        if plan is not None and plan.has_chaos():
+            proxy = ChaosWorkerProxy(plan, workload, attempt)
+            result = proxy(lambda: _workload_task(task))
+        else:
+            result = _workload_task(task)
+        conn.send(("ok", result))
+    except ParallelWorkerError as exc:
+        conn.send(("error", exc.exc_type, exc.detail))
+    except BaseException as exc:  # noqa: BLE001 -- must not die silently
+        conn.send(("error", type(exc).__name__, traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+def _validate_unit_result(payload: Any) -> tuple[list[RunComparison], float] | None:
+    """Reject results a broken/corrupting worker could have produced.
+
+    Returns the validated ``(comparisons, wall_s)`` or ``None`` when the
+    payload is not the expected shape (the harness then treats the
+    attempt as a transient ``CorruptResult`` failure).
+    """
+    if not isinstance(payload, tuple) or len(payload) != 2:
+        return None
+    comparisons, wall_s = payload
+    if not isinstance(comparisons, list) or not isinstance(
+        wall_s, (int, float)
+    ):
+        return None
+    if not all(isinstance(c, RunComparison) for c in comparisons):
+        return None
+    return comparisons, float(wall_s)
+
+
+def resilient_sweep(
+    config: SimConfig,
+    workloads: Iterable[str],
+    techniques: Sequence[str] = ("esteem", "rpv"),
+    seed: int = 0,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
+    retries: int = 2,
+    backoff_s: float = 0.5,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    plan: FaultPlan | None = None,
+    progress: bool | ProgressReporter = False,
+) -> SweepResult:
+    """A :func:`parallel_compare` that survives hostile infrastructure.
+
+    Each (workload, all-techniques) unit runs in its own worker process
+    connected by a pipe, so the parent can enforce a per-attempt
+    wall-clock ``timeout_s`` by terminating a hung worker -- something a
+    ``ProcessPoolExecutor`` cannot do to a running task.  Failed attempts
+    are classified by exception type: transient ones
+    (:data:`TRANSIENT_EXC_TYPES`: crashes, timeouts, corrupt results,
+    broken pipes) are retried up to ``retries`` times with exponential
+    backoff (``backoff_s * 2**(attempt-1)``); deterministic ones fail
+    fast, because a unit that raised ``ValueError`` once will raise it on
+    every retry.
+
+    Determinism: a retried unit reproduces the original attempt bit for
+    bit -- traces are functions of ``(profile, budget, seed)``, and the
+    fault plan's Plane-1 RNG stream is keyed by ``(plan.seed, workload,
+    technique)``, independent of the attempt number.
+
+    With ``checkpoint`` set, every completed unit is persisted
+    atomically; with ``resume=True`` units already in the checkpoint are
+    skipped and their checkpointed comparisons returned (bit-for-bit
+    equal to re-running them, see
+    :mod:`repro.experiments.checkpoint`).
+
+    Instead of raising on a unit that exhausts its retries, the sweep
+    degrades: surviving units are returned, the lost unit lands in the
+    :class:`SweepResult` ``failed`` manifest, and ``degraded`` flips
+    True.  Callers decide whether partial results are acceptable.
+    """
+    workload_list = list(workloads)
+    if not workload_list:
+        raise ValueError("need at least one workload")
+    technique_tuple = tuple(techniques)
+    if not technique_tuple:
+        raise ValueError("need at least one technique")
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be at least 1, got {jobs}")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout must be positive")
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    jobs = min(jobs, len(workload_list))
+
+    ckpt: SweepCheckpoint | None = None
+    if checkpoint is not None:
+        fingerprint = sweep_fingerprint(
+            config, technique_tuple, seed, plan
+        )
+        if resume:
+            ckpt = SweepCheckpoint.load(checkpoint, fingerprint)
+        else:
+            ckpt = SweepCheckpoint(checkpoint, fingerprint)
+
+    if isinstance(progress, ProgressReporter):
+        reporter = progress
+        reporter.total = len(workload_list)
+    else:
+        reporter = ProgressReporter(
+            len(workload_list), label="sweep", enabled=bool(progress)
+        )
+
+    results: list[list[RunComparison] | None] = [None] * len(workload_list)
+    resumed: list[str] = []
+    units: deque[_Unit] = deque()
+    for i, w in enumerate(workload_list):
+        if ckpt is not None and ckpt.has_workload(w, technique_tuple):
+            by_tech = {
+                c.technique: c for c in ckpt.comparisons_for(w)
+            }
+            results[i] = [by_tech[t] for t in technique_tuple]
+            resumed.append(w)
+            reporter.advance(w, 0.0)
+            continue
+        try:
+            preloaded = {
+                key: _trace_cache.get_trace(profile, key[1], key[2])
+                for key, profile in _trace_needs_for(config, w, seed)
+            }
+        except Exception:
+            # Unresolvable workload: ship nothing; the worker hits the
+            # same error itself and reports it deterministically.
+            preloaded = {}
+        task = (config, w, technique_tuple, seed, preloaded, plan)
+        units.append(_Unit(index=i, workload=w, task=task))
+
+    failed: list[FailedWorkload] = []
+    total_attempts = 0
+    total_retries = 0
+    # conn -> (unit, process, deadline | None)
+    running: dict[Any, tuple[_Unit, multiprocessing.Process, float | None]] = {}
+    # (ready_time, unit) entries waiting out their backoff.
+    backing_off: list[tuple[float, _Unit]] = []
+
+    def abandon(unit: _Unit, exc_type: str, detail: str) -> None:
+        failed.append(
+            FailedWorkload(
+                workload=unit.workload,
+                attempts=unit.attempt,
+                exc_type=exc_type,
+                detail=detail,
+            )
+        )
+        reporter.advance(f"{unit.workload} (FAILED)", 0.0)
+
+    def dispose(unit: _Unit, exc_type: str, detail: str) -> None:
+        nonlocal total_retries
+        unit.last_exc_type = exc_type
+        unit.last_detail = detail
+        transient = exc_type in TRANSIENT_EXC_TYPES
+        if transient and unit.attempt <= retries:
+            total_retries += 1
+            delay = backoff_s * (2 ** (unit.attempt - 1)) if backoff_s else 0.0
+            backing_off.append((time.monotonic() + delay, unit))
+        else:
+            abandon(unit, exc_type, detail)
+
+    try:
+        while units or backing_off or running:
+            now = time.monotonic()
+            if backing_off:
+                still_waiting = []
+                for ready_at, unit in backing_off:
+                    if ready_at <= now:
+                        units.append(unit)
+                    else:
+                        still_waiting.append((ready_at, unit))
+                backing_off[:] = still_waiting
+            while units and len(running) < jobs:
+                unit = units.popleft()
+                parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+                proc = multiprocessing.Process(
+                    target=_resilient_entry,
+                    args=(
+                        child_conn,
+                        unit.task,
+                        plan,
+                        unit.workload,
+                        unit.attempt,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                unit.attempt += 1
+                total_attempts += 1
+                deadline = now + timeout_s if timeout_s is not None else None
+                running[parent_conn] = (unit, proc, deadline)
+            if not running:
+                if backing_off:
+                    sleep_until = min(t for t, _ in backing_off)
+                    time.sleep(max(0.0, sleep_until - time.monotonic()))
+                continue
+            # Block until a worker reports, dies, or a deadline/backoff
+            # expiry needs attention.
+            wait_timeout = None
+            deadlines = [d for _, _, d in running.values() if d is not None]
+            wake_times = deadlines + [t for t, _ in backing_off]
+            if wake_times:
+                wait_timeout = max(0.0, min(wake_times) - time.monotonic())
+            ready = pipe_wait(list(running), timeout=wait_timeout)
+            for conn in ready:
+                unit, proc, _deadline = running.pop(conn)
+                message = None
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                conn.close()
+                proc.join()
+                if message is None:
+                    dispose(
+                        unit,
+                        "WorkerCrash",
+                        f"worker exited without a result "
+                        f"(exitcode={proc.exitcode})",
+                    )
+                elif message[0] == "ok":
+                    validated = _validate_unit_result(message[1])
+                    if validated is None:
+                        dispose(
+                            unit,
+                            "CorruptResult",
+                            f"worker returned a malformed result: "
+                            f"{type(message[1]).__name__}",
+                        )
+                    else:
+                        comparisons, wall_s = validated
+                        results[unit.index] = comparisons
+                        if ckpt is not None:
+                            ckpt.record(comparisons)
+                        reporter.advance(unit.workload, wall_s)
+                else:
+                    _tag, exc_type, detail = message
+                    dispose(unit, exc_type, detail)
+            # Enforce wall-clock deadlines on whoever is still running.
+            now = time.monotonic()
+            overdue = [
+                conn
+                for conn, (_u, _p, deadline) in running.items()
+                if deadline is not None and now >= deadline
+            ]
+            for conn in overdue:
+                unit, proc, _deadline = running.pop(conn)
+                proc.terminate()
+                proc.join()
+                conn.close()
+                dispose(
+                    unit,
+                    "TimeoutError",
+                    f"attempt exceeded the {timeout_s:g}s wall-clock "
+                    f"timeout and was terminated",
+                )
+    finally:
+        for conn, (unit, proc, _deadline) in running.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+    reporter.finish()
+
+    out: dict[str, list[RunComparison]] = {t: [] for t in technique_tuple}
+    completed: list[str] = []
+    for w, per_workload in zip(workload_list, results):
+        if per_workload is None:
+            continue
+        completed.append(w)
+        for comparison in per_workload:
+            out[comparison.technique].append(comparison)
+    return SweepResult(
+        comparisons=out,
+        completed=completed,
+        failed=failed,
+        resumed=resumed,
+        attempts=total_attempts,
+        retries=total_retries,
+    )

@@ -10,11 +10,15 @@ increase, and active ratio.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping
 
 from repro.config import SimConfig
+from repro.core.esteem import IntervalDecision
+from repro.energy.model import EnergyBreakdown
 from repro.experiments import _trace_cache
+from repro.faults.plan import FaultPlan
+from repro.timing.core_model import CoreResult
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import Profiler
 from repro.obs.trace import Tracer, active_tracer
@@ -29,7 +33,14 @@ from repro.workloads.multiprog import get_mix
 from repro.workloads.profiles import get_profile
 from repro.workloads.trace import Trace
 
-__all__ = ["AggregateResult", "RunComparison", "Runner", "aggregate"]
+__all__ = [
+    "AggregateResult",
+    "RunComparison",
+    "Runner",
+    "aggregate",
+    "comparison_from_dict",
+    "comparison_to_dict",
+]
 
 
 @dataclass(frozen=True)
@@ -108,6 +119,91 @@ def aggregate(comparisons: Iterable[RunComparison]) -> AggregateResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Checkpoint serialisation
+#
+# RunComparison round-trips through plain JSON-able dicts so the sweep
+# checkpointer can persist completed units.  Python's json module prints
+# floats with repr (shortest round-trip representation), so a serialised
+# and re-loaded comparison is *bit-for-bit* equal to the original --
+# resuming from a checkpoint is exactly equivalent to never having been
+# interrupted.  Tuples inside IntervalDecision become JSON lists and are
+# restored on load.
+# ----------------------------------------------------------------------
+
+
+def _system_result_to_dict(r: "SystemResult") -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for f in fields(r):
+        value = getattr(r, f.name)
+        if f.name == "cores":
+            value = [
+                {fld.name: getattr(c, fld.name) for fld in fields(CoreResult)}
+                for c in r.cores
+            ]
+        elif f.name == "energy":
+            value = {
+                fld.name: getattr(value, fld.name)
+                for fld in fields(EnergyBreakdown)
+            }
+        elif f.name == "timeline":
+            value = [
+                {
+                    "interval_index": d.interval_index,
+                    "cycle": d.cycle,
+                    "n_active_way": list(d.n_active_way),
+                    "non_lru": list(d.non_lru),
+                    "active_fraction": d.active_fraction,
+                    "transitions": d.transitions,
+                    "flush_writebacks": d.flush_writebacks,
+                    "clean_discards": d.clean_discards,
+                }
+                for d in value
+            ]
+        out[f.name] = value
+    return out
+
+
+def _system_result_from_dict(raw: Mapping[str, Any]) -> "SystemResult":
+    kwargs = dict(raw)
+    kwargs["cores"] = [CoreResult(**c) for c in raw["cores"]]
+    kwargs["energy"] = EnergyBreakdown(**raw["energy"])
+    kwargs["timeline"] = [
+        IntervalDecision(
+            interval_index=d["interval_index"],
+            cycle=d["cycle"],
+            n_active_way=tuple(d["n_active_way"]),
+            non_lru=tuple(d["non_lru"]),
+            active_fraction=d["active_fraction"],
+            transitions=d["transitions"],
+            flush_writebacks=d["flush_writebacks"],
+            clean_discards=d["clean_discards"],
+        )
+        for d in raw.get("timeline", [])
+    ]
+    return SystemResult(**kwargs)
+
+
+def comparison_to_dict(comp: RunComparison) -> dict[str, Any]:
+    """Serialise a :class:`RunComparison` to a JSON-able dict."""
+    return {
+        "workload": comp.workload,
+        "technique": comp.technique,
+        "result": _system_result_to_dict(comp.result),
+        "baseline": _system_result_to_dict(comp.baseline),
+    }
+
+
+def comparison_from_dict(raw: Mapping[str, Any]) -> RunComparison:
+    """Restore a :class:`RunComparison` from :func:`comparison_to_dict`."""
+    return RunComparison(
+        workload=raw["workload"],
+        technique=raw["technique"],
+        result=_system_result_from_dict(raw["result"]),
+        baseline=_system_result_from_dict(raw["baseline"]),
+    )
+
+
 class Runner:
     """Runs workloads under a configuration, reusing traces and baselines.
 
@@ -125,9 +221,13 @@ class Runner:
         tracer: Tracer | None = None,
         metrics: MetricsRegistry | None = None,
         profiler: Profiler | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.config = config if config is not None else SimConfig.scaled()
         self.seed = seed
+        #: Optional fault plan applied to every simulated system (Plane 1
+        #: hardware faults; the sweep harness consumes Plane 2 itself).
+        self.fault_plan = fault_plan
         self.tracer = active_tracer(tracer)
         self.metrics = (
             metrics if metrics is not None and metrics.enabled else None
@@ -176,6 +276,7 @@ class Runner:
             tracer=self.tracer,
             metrics=self.metrics,
             profiler=self.profiler,
+            fault_plan=self.fault_plan,
         )
         return system.run()
 

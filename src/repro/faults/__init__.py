@@ -1,0 +1,31 @@
+"""Deterministic fault injection: modeled eDRAM faults + harness chaos.
+
+Two planes, one seeded :class:`~repro.faults.plan.FaultPlan`:
+
+* Plane 1 (:mod:`repro.faults.inject`): retention failures / bit-flips
+  in the modeled eDRAM cache, latched at refresh boundaries, interacting
+  with ECC correction and dirty-line data-loss accounting.
+* Plane 2 (:mod:`repro.faults.chaos`): crash / hang / corrupt-result
+  behaviour of sweep worker processes, driving the resilient sweep
+  harness in :mod:`repro.experiments.parallel`.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_EXIT_CODE,
+    ChaosError,
+    ChaosWorkerProxy,
+    corrupt_result,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import CHAOS_ACTIONS, FaultEvent, FaultPlan
+
+__all__ = [
+    "CHAOS_ACTIONS",
+    "CHAOS_EXIT_CODE",
+    "ChaosError",
+    "ChaosWorkerProxy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "corrupt_result",
+]

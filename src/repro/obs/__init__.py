@@ -29,6 +29,7 @@ from repro.obs.metrics import (
 )
 from repro.obs.profile import Profiler, ProgressReporter, Span, format_seconds
 from repro.obs.trace import (
+    EVENT_FAULT_INJECT,
     EVENT_INTERVAL_DECISION,
     EVENT_INTERVAL_ENERGY,
     EVENT_MSHR_STALL,
@@ -56,6 +57,7 @@ __all__ = [
     "ProgressReporter",
     "Span",
     "format_seconds",
+    "EVENT_FAULT_INJECT",
     "EVENT_INTERVAL_DECISION",
     "EVENT_INTERVAL_ENERGY",
     "EVENT_MSHR_STALL",

@@ -17,6 +17,7 @@ Event types (the ``type`` field of every event):
 ``interval.energy``       one per closed interval: the EnergyBreakdown inputs
 ``refresh.burst``         one per refresh boundary that refreshed >= 1 line
 ``mshr.stall``            one per demand access delayed by the memory queue
+``fault.inject``          one per injected eDRAM fault (see ``repro.faults``)
 ========================  =====================================================
 
 Hot-path contract: simulation code stores the injected tracer as ``None``
@@ -36,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, IO, Iterable, Iterator
 
 __all__ = [
+    "EVENT_FAULT_INJECT",
     "EVENT_INTERVAL_DECISION",
     "EVENT_INTERVAL_ENERGY",
     "EVENT_MSHR_STALL",
@@ -57,6 +59,7 @@ EVENT_RECONFIG_TRANSITION = "reconfig.transition"
 EVENT_INTERVAL_ENERGY = "interval.energy"
 EVENT_REFRESH_BURST = "refresh.burst"
 EVENT_MSHR_STALL = "mshr.stall"
+EVENT_FAULT_INJECT = "fault.inject"
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,8 @@ from repro.energy.model import (
     IntervalEnergyInputs,
 )
 from repro.energy.params import EnergyParams
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.mem.dram import MainMemory
 from repro.metrics.stats import IntervalTracker
 from repro.obs.metrics import MetricsRegistry
@@ -110,6 +112,12 @@ class SystemResult:
     timeline: list[IntervalDecision] = field(default_factory=list)
     transitions: int = 0
     flush_writebacks: int = 0
+    #: Fault-injection outcome counts (all zero unless a
+    #: :class:`~repro.faults.plan.FaultPlan` with hardware faults ran).
+    faults_injected: int = 0
+    fault_corrected: int = 0
+    fault_invalidated_clean: int = 0
+    fault_data_loss: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics (Section 6.4)
@@ -155,6 +163,7 @@ class System:
         metrics: MetricsRegistry | None = None,
         profiler: Profiler | None = None,
         reference_loop: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {technique!r}; use one of {TECHNIQUES}")
@@ -187,6 +196,26 @@ class System:
         self.memory = MainMemory(config.memory)
         self.engine = self._build_engine()
         self.engine.tracer = self.tracer
+        # Fault injection is strictly opt-in: with no plan (or a plan with
+        # no hardware faults) the injector stays None and the refresh
+        # engine's boundary hook is a single ``is not None`` test.
+        self.fault_injector: FaultInjector | None = None
+        if fault_plan is not None and fault_plan.has_model_faults():
+            self.fault_injector = FaultInjector(
+                fault_plan,
+                self.l2,
+                config.refresh,
+                self.workload,
+                technique,
+                correctable_bits=(
+                    config.refresh.ecc_correctable_bits
+                    if technique == "ecc"
+                    else 0
+                ),
+                tracer=self.tracer,
+                metrics=self.metrics,
+            )
+            self.engine.injector = self.fault_injector
         # Interval-driven reconfiguration controller, if the technique has
         # one: ESTEEM (selective-ways) or the selective-sets baseline.
         self.esteem: EsteemController | SelectiveSetsController | None = None
@@ -198,6 +227,8 @@ class System:
             self.esteem = SelectiveSetsController(
                 self.l2, config.esteem, self.memory
             )
+        if self.esteem is not None and isinstance(self.esteem, EsteemController):
+            self.esteem.fault_injector = self.fault_injector
         params = EnergyParams.for_cache_size(config.l2.size_bytes)
         if technique == "ecc":
             # ECC bits cost area: charge them on L2 leakage and dynamic
@@ -1102,6 +1133,20 @@ class System:
                 sum(d.flush_writebacks for d in self.esteem.timeline)
                 if self.esteem
                 else 0
+            ),
+            faults_injected=(
+                self.fault_injector.injected if self.fault_injector else 0
+            ),
+            fault_corrected=(
+                self.fault_injector.corrected if self.fault_injector else 0
+            ),
+            fault_invalidated_clean=(
+                self.fault_injector.invalidated_clean
+                if self.fault_injector
+                else 0
+            ),
+            fault_data_loss=(
+                self.fault_injector.data_loss if self.fault_injector else 0
             ),
         )
 

@@ -1,0 +1,70 @@
+"""Small shared utilities with no simulation dependencies.
+
+Currently: crash-safe file writes.  Result files (CSV exports, benchmark
+baselines, sweep checkpoints) must never be left half-written by a kill
+mid-write -- a truncated ``BENCH_*.json`` or checkpoint would silently
+poison later runs.  :func:`atomic_write` provides the standard
+write-to-temp + ``os.replace`` idiom: the destination either keeps its old
+content or atomically gains the complete new content, never anything in
+between.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["atomic_write", "atomic_write_json"]
+
+
+def atomic_write(
+    path: str | Path,
+    data: str | bytes,
+    encoding: str = "utf-8",
+    fsync: bool = False,
+) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the resolved path.
+
+    The data is written to a uniquely named temporary file in the same
+    directory (same filesystem, so the final rename cannot cross devices)
+    and moved into place with :func:`os.replace`, which is atomic on
+    POSIX and Windows.  A crash at any point leaves either the old file
+    or the complete new file -- never a truncation.
+
+    ``fsync=True`` additionally flushes the temp file to disk before the
+    rename, hardening against power loss as well as process death (at
+    measurable cost; checkpointers that record many small units should
+    leave it off and rely on process-crash atomicity).
+    """
+    path = Path(path)
+    mode = "wb" if isinstance(data, bytes) else "w"
+    kwargs = {} if isinstance(data, bytes) else {"encoding": encoding}
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, **kwargs) as fh:
+            fh.write(data)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_json(
+    path: str | Path, obj: Any, indent: int | None = 2, fsync: bool = False
+) -> Path:
+    """Serialise ``obj`` as JSON and write it atomically (trailing newline)."""
+    return atomic_write(
+        path, json.dumps(obj, indent=indent, sort_keys=True) + "\n", fsync=fsync
+    )

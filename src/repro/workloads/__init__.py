@@ -5,7 +5,7 @@ proxy-app traces: a stack-distance generator, 34 per-benchmark behaviour
 profiles, and the 17 dual-core multiprogrammed mixes of Table 1.
 """
 
-from repro.workloads.trace import Trace, TraceCursor
+from repro.workloads.trace import Trace, TraceCorruptionError, TraceCursor
 from repro.workloads.synthetic import PhaseSpec, SyntheticTraceGenerator, generate_trace
 from repro.workloads.profiles import (
     ALL_BENCHMARKS,
@@ -26,6 +26,7 @@ __all__ = [
     "SPEC_BENCHMARKS",
     "SyntheticTraceGenerator",
     "Trace",
+    "TraceCorruptionError",
     "TraceCursor",
     "generate_trace",
     "get_mix",

@@ -27,7 +27,18 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["Trace", "TraceCursor"]
+__all__ = ["Trace", "TraceCorruptionError", "TraceCursor"]
+
+
+class TraceCorruptionError(ValueError):
+    """A trace archive failed its on-load integrity check.
+
+    Raised by :meth:`Trace.load` when the ``.npz`` is unreadable, a
+    required column is missing, the parallel columns disagree on length,
+    or the stored record count does not match the columns (a truncated or
+    partially-written file).  The message always names the file so a
+    sweep over many archives can report *which* input is bad.
+    """
 
 
 @dataclass(eq=False)
@@ -179,7 +190,12 @@ class Trace:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write the trace as a compressed ``.npz`` file."""
+        """Write the trace as a compressed ``.npz`` file.
+
+        ``n_records`` is stored alongside the columns as an integrity
+        seal: :meth:`load` cross-checks it against the column lengths to
+        catch truncated or partially-written archives.
+        """
         np.savez_compressed(
             str(path),
             name=np.array(self.name),
@@ -189,31 +205,76 @@ class Trace:
             base_cpi=np.array(self.base_cpi),
             mem_mlp=np.array(self.mem_mlp),
             footprint_lines=np.array(self.footprint_lines),
+            n_records=np.array(len(self.addrs)),
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "Trace":
         """Load a ``.npz`` trace; the columns stay NumPy arrays.
 
-        Optional scalar fields (``mem_mlp``, ``footprint_lines``) default
-        when absent, so archives written by older versions that predate
-        those fields still load.
+        Optional scalar fields (``mem_mlp``, ``footprint_lines``,
+        ``n_records``) default when absent, so archives written by older
+        versions that predate those fields still load.
+
+        Raises
+        ------
+        TraceCorruptionError
+            If the archive is unreadable, a required column is missing,
+            the parallel columns disagree on length, or the stored record
+            count does not match the columns.  The message names the
+            offending file.
         """
-        with np.load(str(path)) as data:
-            files = set(data.files)
-            return cls(
-                name=str(data["name"]),
-                addrs=data["addrs"],
-                writes=data["writes"],
-                gaps=data["gaps"],
-                base_cpi=float(data["base_cpi"]) if "base_cpi" in files else 1.0,
-                mem_mlp=float(data["mem_mlp"]) if "mem_mlp" in files else 1.0,
-                footprint_lines=(
-                    int(data["footprint_lines"])
-                    if "footprint_lines" in files
-                    else 0
-                ),
-            )
+        try:
+            with np.load(str(path)) as data:
+                files = set(data.files)
+                missing = {"name", "addrs", "writes", "gaps"} - files
+                if missing:
+                    raise TraceCorruptionError(
+                        f"trace archive {path} is missing required "
+                        f"field(s) {sorted(missing)}"
+                    )
+                addrs = data["addrs"]
+                writes = data["writes"]
+                gaps = data["gaps"]
+                lengths = {len(addrs), len(writes), len(gaps)}
+                if len(lengths) != 1:
+                    raise TraceCorruptionError(
+                        f"trace archive {path} has inconsistent column "
+                        f"lengths: addrs={len(addrs)}, "
+                        f"writes={len(writes)}, gaps={len(gaps)}"
+                    )
+                if "n_records" in files:
+                    stored = int(data["n_records"])
+                    if stored != len(addrs):
+                        raise TraceCorruptionError(
+                            f"trace archive {path} stores n_records="
+                            f"{stored} but its columns hold {len(addrs)} "
+                            f"records (truncated or partially written?)"
+                        )
+                return cls(
+                    name=str(data["name"]),
+                    addrs=addrs,
+                    writes=writes,
+                    gaps=gaps,
+                    base_cpi=(
+                        float(data["base_cpi"]) if "base_cpi" in files else 1.0
+                    ),
+                    mem_mlp=float(data["mem_mlp"]) if "mem_mlp" in files else 1.0,
+                    footprint_lines=(
+                        int(data["footprint_lines"])
+                        if "footprint_lines" in files
+                        else 0
+                    ),
+                )
+        except TraceCorruptionError:
+            raise
+        except Exception as exc:
+            # np.load failures surface as zipfile/OSError/ValueError/
+            # EOFError depending on how the file is damaged; normalise
+            # them all to one typed error naming the file.
+            raise TraceCorruptionError(
+                f"cannot read trace archive {path}: {exc}"
+            ) from exc
 
     def to_bytes(self) -> bytes:
         buf = io.BytesIO()
@@ -226,6 +287,7 @@ class Trace:
             base_cpi=np.array(self.base_cpi),
             mem_mlp=np.array(self.mem_mlp),
             footprint_lines=np.array(self.footprint_lines),
+            n_records=np.array(len(self.addrs)),
         )
         return buf.getvalue()
 

@@ -1,0 +1,281 @@
+"""Tests for the resilient sweep harness (Plane 2: timeouts, retries,
+checkpoint/resume, degradation) and the sweep checkpoint format."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.experiments.parallel import (
+    TRANSIENT_EXC_TYPES,
+    ParallelWorkerError,
+    parallel_compare,
+    resilient_sweep,
+)
+from repro.experiments.runner import (
+    Runner,
+    comparison_from_dict,
+    comparison_to_dict,
+)
+from repro.faults import FaultPlan
+
+CFG_KW = dict(instructions_per_core=200_000, interval_cycles=100_000)
+
+
+def config():
+    return SimConfig.scaled(**CFG_KW)
+
+
+class TestWorkerErrorExcType:
+    def test_exc_type_in_str(self):
+        err = ParallelWorkerError("gamess", "boom", "ValueError")
+        assert "[ValueError]" in str(err)
+        assert "gamess" in str(err)
+
+    def test_exc_type_survives_pickling(self):
+        # The retry classifier runs parent-side on errors raised in
+        # worker processes; the type name must survive the pickle path.
+        err = ParallelWorkerError("gamess", "boom", "MemoryError")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.workload == "gamess"
+        assert clone.detail == "boom"
+        assert clone.exc_type == "MemoryError"
+
+    def test_default_exc_type(self):
+        assert ParallelWorkerError("w", "d").exc_type == "ParallelWorkerError"
+
+    def test_classifier_covers_harness_failure_modes(self):
+        assert {"TimeoutError", "WorkerCrash", "CorruptResult"} <= (
+            TRANSIENT_EXC_TYPES
+        )
+        assert "ValueError" not in TRANSIENT_EXC_TYPES
+        assert "ChaosError" not in TRANSIENT_EXC_TYPES
+
+
+class TestCleanSweep:
+    def test_matches_parallel_compare_exactly(self):
+        cfg = config()
+        resilient = resilient_sweep(
+            cfg, ["gamess", "povray"], ("esteem",), jobs=2
+        )
+        plain = parallel_compare(cfg, ["gamess", "povray"], ("esteem",), jobs=2)
+        assert not resilient.degraded
+        assert resilient.attempts == 2 and resilient.retries == 0
+        for r, p in zip(resilient.comparisons["esteem"], plain["esteem"]):
+            assert r.workload == p.workload
+            assert r.result == p.result
+            assert r.baseline == p.baseline
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            resilient_sweep(config(), [], ("esteem",))
+        with pytest.raises(ValueError):
+            resilient_sweep(config(), ["gamess"], ())
+        with pytest.raises(ValueError):
+            resilient_sweep(config(), ["gamess"], ("esteem",), jobs=0)
+        with pytest.raises(ValueError):
+            resilient_sweep(config(), ["gamess"], ("esteem",), retries=-1)
+        with pytest.raises(ValueError):
+            resilient_sweep(config(), ["gamess"], ("esteem",), timeout_s=0)
+
+
+class TestRetries:
+    def test_crash_recovers_bit_for_bit(self):
+        cfg = config()
+        plan = FaultPlan(chaos={"gamess": ("crash",)})
+        result = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1,
+            retries=2, backoff_s=0.01, plan=plan,
+        )
+        assert not result.degraded
+        assert result.attempts == 2 and result.retries == 1
+        ref = Runner(cfg).compare("gamess", "esteem")
+        (comp,) = result.comparisons["esteem"]
+        assert comp.result == ref.result
+        assert comp.baseline == ref.baseline
+
+    def test_timeout_terminates_hang_and_recovers(self):
+        cfg = config()
+        plan = FaultPlan(chaos={"gamess": ("hang",)}, hang_seconds=60.0)
+        result = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1,
+            timeout_s=2.0, retries=2, backoff_s=0.01, plan=plan,
+        )
+        assert not result.degraded
+        assert result.retries == 1
+        ref = Runner(cfg).compare("gamess", "esteem")
+        assert result.comparisons["esteem"][0].result == ref.result
+
+    def test_corrupt_result_is_rejected_and_retried(self):
+        cfg = config()
+        plan = FaultPlan(chaos={"gamess": ("corrupt",)})
+        result = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1,
+            retries=2, backoff_s=0.01, plan=plan,
+        )
+        assert not result.degraded
+        assert result.retries == 1
+        ref = Runner(cfg).compare("gamess", "esteem")
+        assert result.comparisons["esteem"][0].result == ref.result
+
+    def test_deterministic_failure_fails_fast(self):
+        # A scripted ChaosError is a stand-in for a unit that raises the
+        # same exception on every attempt: no retry budget is burned.
+        cfg = config()
+        plan = FaultPlan(chaos={"gamess": ("raise", "raise", "raise")})
+        result = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1,
+            retries=5, backoff_s=0.01, plan=plan,
+        )
+        assert result.degraded
+        assert result.attempts == 1 and result.retries == 0
+        (failure,) = result.failed
+        assert failure.exc_type == "ChaosError"
+        assert failure.attempts == 1
+
+
+class TestDegradation:
+    def test_permanent_crash_degrades_with_manifest(self):
+        cfg = config()
+        plan = FaultPlan(chaos={"povray": ("crash",) * 8})
+        result = resilient_sweep(
+            cfg, ["gamess", "povray"], ("esteem",), jobs=2,
+            retries=1, backoff_s=0.01, plan=plan,
+        )
+        assert result.degraded
+        assert result.completed == ["gamess"]
+        (failure,) = result.failed
+        assert failure.workload == "povray"
+        assert failure.attempts == 2  # 1 attempt + 1 retry
+        assert failure.exc_type == "WorkerCrash"
+        manifest = result.manifest()
+        json.dumps(manifest)  # must be JSON-able as written
+        assert manifest["degraded"] is True
+        assert manifest["completed"] == ["gamess"]
+        assert manifest["failed"][0]["workload"] == "povray"
+        assert manifest["failed"][0]["exc_type"] == "WorkerCrash"
+
+    def test_surviving_results_are_exact_under_degradation(self):
+        cfg = config()
+        plan = FaultPlan(chaos={"povray": ("crash",) * 8})
+        result = resilient_sweep(
+            cfg, ["gamess", "povray"], ("esteem",), jobs=2,
+            retries=0, backoff_s=0.01, plan=plan,
+        )
+        ref = Runner(cfg).compare("gamess", "esteem")
+        (comp,) = result.comparisons["esteem"]
+        assert comp.result == ref.result
+
+
+class TestCheckpointResume:
+    def test_interrupted_sweep_resumes_bit_for_bit(self, tmp_path):
+        cfg = config()
+        ckpt = tmp_path / "sweep.ckpt.jsonl"
+        # First pass: povray is permanently broken, gamess completes and
+        # is checkpointed -- this is "the sweep died partway".
+        plan = FaultPlan(chaos={"povray": ("crash",) * 8})
+        first = resilient_sweep(
+            cfg, ["gamess", "povray"], ("esteem",), jobs=1,
+            retries=0, backoff_s=0.01, checkpoint=ckpt, plan=plan,
+        )
+        assert first.completed == ["gamess"]
+        # Second pass with the same parameters: gamess comes back from
+        # the checkpoint without re-running; povray (still scripted to
+        # crash) is attempted again.
+        resumed = resilient_sweep(
+            cfg, ["gamess", "povray"], ("esteem",), jobs=1,
+            retries=0, checkpoint=ckpt, resume=True, plan=plan,
+        )
+        assert resumed.resumed == ["gamess"]
+        assert resumed.attempts == 1  # only povray re-ran
+        ref = Runner(cfg).compare("gamess", "esteem")
+        by_w = {c.workload: c for c in resumed.comparisons["esteem"]}
+        assert by_w["gamess"].result == ref.result
+        assert by_w["gamess"].baseline == ref.baseline
+
+    def test_full_resume_runs_nothing(self, tmp_path):
+        cfg = config()
+        ckpt = tmp_path / "sweep.ckpt.jsonl"
+        first = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1, checkpoint=ckpt
+        )
+        resumed = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1, checkpoint=ckpt, resume=True
+        )
+        assert resumed.attempts == 0
+        assert resumed.resumed == ["gamess"]
+        assert (
+            resumed.comparisons["esteem"][0].result
+            == first.comparisons["esteem"][0].result
+        )
+
+    def test_resume_refuses_foreign_checkpoint(self, tmp_path):
+        cfg = config()
+        ckpt = tmp_path / "sweep.ckpt.jsonl"
+        resilient_sweep(cfg, ["gamess"], ("esteem",), jobs=1, checkpoint=ckpt)
+        with pytest.raises(ValueError, match="different sweep"):
+            resilient_sweep(
+                cfg, ["gamess"], ("esteem",), jobs=1,
+                checkpoint=ckpt, resume=True, seed=1,  # parameters changed
+            )
+
+
+class TestCheckpointFormat:
+    def test_fingerprint_sensitivity(self):
+        cfg = config()
+        base = sweep_fingerprint(cfg, ("esteem",), 0)
+        assert base == sweep_fingerprint(cfg, ("esteem",), 0)
+        assert base != sweep_fingerprint(cfg, ("esteem", "rpv"), 0)
+        assert base != sweep_fingerprint(cfg, ("esteem",), 1)
+        assert base != sweep_fingerprint(
+            cfg, ("esteem",), 0, FaultPlan(flip_rate=1e-4)
+        )
+        assert base != sweep_fingerprint(
+            SimConfig.scaled(instructions_per_core=400_000), ("esteem",), 0
+        )
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        ckpt = SweepCheckpoint.load(tmp_path / "none.jsonl", "abc")
+        assert ckpt.units == 0
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not a checkpoint\n")
+        with pytest.raises(ValueError, match="not a sweep checkpoint"):
+            SweepCheckpoint.load(path, "abc")
+
+    def test_truncated_trailing_line_dropped_with_warning(
+        self, tmp_path, capsys
+    ):
+        cfg = config()
+        comp = Runner(cfg).compare("gamess", "esteem")
+        fp = sweep_fingerprint(cfg, ("esteem",), 0)
+        path = tmp_path / "ckpt.jsonl"
+        ckpt = SweepCheckpoint(path, fp)
+        ckpt.record([comp])
+        # Simulate a torn write: append half a JSON record.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"workload": "povr')
+        loaded = SweepCheckpoint.load(path, fp)
+        assert loaded.units == 1
+        assert "dropping unparsable checkpoint line" in capsys.readouterr().err
+
+    def test_comparison_roundtrip_is_exact(self, tmp_path):
+        cfg = config()
+        comp = Runner(cfg).compare("gamess", "esteem")
+        clone = comparison_from_dict(
+            json.loads(json.dumps(comparison_to_dict(comp)))
+        )
+        assert clone == comp
+
+    def test_has_workload_requires_every_technique(self, tmp_path):
+        cfg = config()
+        runner = Runner(cfg)
+        comp = runner.compare("gamess", "esteem")
+        ckpt = SweepCheckpoint(tmp_path / "c.jsonl", "fp")
+        ckpt.record([comp])
+        assert ckpt.has_workload("gamess", ("esteem",))
+        assert not ckpt.has_workload("gamess", ("esteem", "rpv"))
+        assert not ckpt.has_workload("povray", ("esteem",))

@@ -1,0 +1,263 @@
+"""Tests for Plane-1 hardware-fault injection (unit + integration)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import CacheGeometry, RefreshConfig, SimConfig
+from repro.experiments.runner import Runner
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.trace import EVENT_FAULT_INJECT
+
+#: Small scale whose ECC-extended refresh window (4 x 25_000 cycles)
+#: still fires several boundaries inside a 200k-instruction run.
+CFG = SimConfig.scaled(
+    retention_us=12.5, instructions_per_core=200_000, interval_cycles=100_000
+)
+
+
+def small_cache() -> SetAssociativeCache:
+    # 4 KiB / 64 B lines / 4 ways = 16 sets, 64 lines.
+    geo = CacheGeometry(size_bytes=4 * 1024, associativity=4, latency_cycles=2)
+    return SetAssociativeCache(geo, name="L2")
+
+
+def fill(cache: SetAssociativeCache, writes: bool = False) -> None:
+    """Make one line valid (way 0) in every set."""
+    for s in range(cache.num_sets):
+        cache.access(s, is_write=writes)
+
+
+def injector(plan, cache, correctable_bits=0, tracer=None, metrics=None):
+    return FaultInjector(
+        plan,
+        cache,
+        RefreshConfig(),
+        "gamess",
+        "esteem",
+        correctable_bits=correctable_bits,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+
+class TestEventOutcomes:
+    def test_clean_valid_line_invalidated(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(events=(FaultEvent(set_index=0, way=0, cycle=10),))
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        assert inj.injected == 1
+        assert inj.invalidated_clean == 1
+        assert not cache.state.valid[0]
+
+    def test_dirty_line_is_data_loss(self):
+        cache = small_cache()
+        fill(cache, writes=True)
+        plan = FaultPlan(events=(FaultEvent(set_index=0, way=0, cycle=10),))
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        assert inj.data_loss == 1
+        assert inj.invalidated_clean == 0
+
+    def test_invalid_line_is_masked(self):
+        cache = small_cache()  # nothing filled: every line invalid
+        plan = FaultPlan(events=(FaultEvent(set_index=0, way=0, cycle=10),))
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        assert inj.masked == 1
+        assert inj.data_loss == 0
+
+    def test_out_of_range_target_is_masked(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(set_index=0, way=99, cycle=10),
+                FaultEvent(set_index=9999, way=0, cycle=10),
+            )
+        )
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        assert inj.masked == 2
+        assert all(cache.state.valid[: cache.num_sets * 0 + 1])
+
+    def test_events_latch_at_first_boundary_at_or_after_cycle(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(
+            events=(
+                FaultEvent(set_index=0, way=0, cycle=50),
+                FaultEvent(set_index=1, way=0, cycle=500),
+            )
+        )
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        assert inj.injected == 1  # only the cycle-50 event is due
+        inj.at_boundary(600)
+        assert inj.injected == 2
+
+    def test_correctable_fault_leaves_line_intact(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(events=(FaultEvent(set_index=0, way=0, cycle=10),))
+        inj = injector(plan, cache, correctable_bits=1)
+        inj.at_boundary(100)
+        assert inj.corrected == 1
+        assert cache.state.valid[0]
+
+    def test_multi_bit_fault_defeats_secded(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(
+            events=(FaultEvent(set_index=0, way=0, cycle=10, bits=2),)
+        )
+        inj = injector(plan, cache, correctable_bits=1)
+        inj.at_boundary(100)
+        assert inj.corrected == 0
+        assert inj.invalidated_clean == 1
+
+
+class TestRateDraws:
+    def test_bank_rates_length_must_match_machine(self):
+        with pytest.raises(ValueError, match="4 banks"):
+            injector(FaultPlan(bank_rates=(0.1, 0.1)), small_cache())
+
+    def test_bank_rate_one_kills_exactly_that_banks_lines(self):
+        cache = small_cache()
+        fill(cache)
+        plan = FaultPlan(bank_rates=(1.0, 0.0, 0.0, 0.0))
+        inj = injector(plan, cache)
+        inj.at_boundary(100)
+        a = cache.associativity
+        for s in range(cache.num_sets):
+            expect_dead = s % 4 == 0  # low-order set interleaving
+            assert bool(cache.state.valid[s * a]) == (not expect_dead), s
+        assert inj.injected == cache.num_sets // 4
+
+    def test_same_seed_reproduces_bit_for_bit(self):
+        outcomes = []
+        for _ in range(2):
+            cache = small_cache()
+            fill(cache)
+            inj = injector(FaultPlan(seed=9, flip_rate=0.3), cache)
+            inj.at_boundary(100)
+            inj.at_boundary(200)
+            outcomes.append(
+                (inj.injected, inj.invalidated_clean, cache.state.valid.copy())
+            )
+        assert outcomes[0][0] == outcomes[1][0]
+        assert outcomes[0][1] == outcomes[1][1]
+        assert np.array_equal(outcomes[0][2], outcomes[1][2])
+
+    def test_rate_draw_only_targets_valid_lines(self):
+        cache = small_cache()  # all invalid
+        inj = injector(FaultPlan(flip_rate=1.0), cache)
+        inj.at_boundary(100)
+        assert inj.injected == 0
+
+
+class TestObservability:
+    def test_trace_event_carries_outcome_and_location(self):
+        cache = small_cache()
+        fill(cache)
+        tracer = Tracer()
+        plan = FaultPlan(events=(FaultEvent(set_index=3, way=0, cycle=10),))
+        inj = injector(plan, cache, tracer=tracer)
+        inj.at_boundary(100)
+        (event,) = tracer.events(EVENT_FAULT_INJECT)
+        assert event.data["outcome"] == "invalidated-clean"
+        assert event.data["source"] == "event"
+        assert event.data["set"] == 3
+        assert event.data["way"] == 0
+        assert event.data["bits"] == 1
+
+    def test_metrics_counters_track_outcomes(self):
+        cache = small_cache()
+        fill(cache)
+        metrics = MetricsRegistry()
+        plan = FaultPlan(
+            events=(
+                FaultEvent(set_index=0, way=0, cycle=10),
+                FaultEvent(set_index=0, way=99, cycle=10),
+            )
+        )
+        inj = injector(plan, cache, metrics=metrics)
+        inj.at_boundary(100)
+        assert metrics.counter("faults.injected").value == 2
+        assert metrics.counter("faults.invalidated_clean").value == 1
+        assert metrics.counter("faults.masked").value == 1
+
+
+class TestSystemIntegration:
+    def test_faulted_run_is_deterministic(self):
+        plan = FaultPlan(
+            seed=5,
+            flip_rate=2e-4,
+            events=(FaultEvent(set_index=3, way=1, cycle=50_000, bits=2),),
+        )
+        a = Runner(CFG, seed=0, fault_plan=plan).run("gamess", "esteem")
+        b = Runner(CFG, seed=0, fault_plan=plan).run("gamess", "esteem")
+        assert a.faults_injected > 0
+        assert a == b
+
+    def test_empty_plan_equals_no_plan(self):
+        clean = Runner(CFG, seed=0).run("gamess", "esteem")
+        empty = Runner(CFG, seed=0, fault_plan=FaultPlan()).run(
+            "gamess", "esteem"
+        )
+        assert clean == empty
+        assert empty.faults_injected == 0
+
+    def test_ecc_corrects_every_single_bit_fault(self):
+        # ISSUE acceptance: flips within the ECC capability must yield
+        # zero data loss -- and, since a corrected fault has no
+        # architectural effect, the run's timing/energy must match the
+        # clean run exactly.
+        plan = FaultPlan(seed=5, flip_rate=0.02)  # rate_bits=1 (SECDED-correctable)
+        faulted = Runner(CFG, seed=0, fault_plan=plan).run("gamess", "ecc")
+        assert faulted.faults_injected > 0
+        assert faulted.fault_corrected == faulted.faults_injected
+        assert faulted.fault_data_loss == 0
+        assert faulted.fault_invalidated_clean == 0
+        clean = Runner(CFG, seed=0).run("gamess", "ecc")
+        assert faulted.total_cycles == clean.total_cycles
+        assert faulted.refreshes == clean.refreshes
+        assert faulted.total_energy_j == clean.total_energy_j
+
+    def test_without_ecc_the_same_faults_invalidate(self):
+        plan = FaultPlan(seed=5, flip_rate=0.02)
+        r = Runner(CFG, seed=0, fault_plan=plan).run("gamess", "esteem")
+        assert r.faults_injected > 0
+        assert r.fault_corrected == 0
+        assert r.fault_invalidated_clean + r.fault_data_loss > 0
+
+    def test_reference_loop_matches_fast_loop_under_faults(self):
+        # Boundary-latched injection keeps every simulation loop on the
+        # identical fault schedule.
+        from repro.timing.system import System
+        from repro.workloads.profiles import get_profile
+        from repro.workloads.synthetic import generate_trace
+
+        plan = FaultPlan(seed=5, flip_rate=2e-4)
+        trace = generate_trace(
+            get_profile("gamess"), CFG.instructions_per_core, seed=0
+        )
+        fast = System(
+            CFG, [trace], "esteem", fault_plan=plan, reference_loop=False
+        ).run()
+        slow = System(
+            CFG, [trace], "esteem", fault_plan=plan, reference_loop=True
+        ).run()
+        assert fast == slow
+        assert fast.faults_injected > 0
+
+    def test_traced_run_emits_fault_events(self):
+        tracer = Tracer()
+        plan = FaultPlan(seed=5, flip_rate=2e-4)
+        result = Runner(CFG, seed=0, tracer=tracer, fault_plan=plan).run(
+            "gamess", "esteem"
+        )
+        assert tracer.tally().get(EVENT_FAULT_INJECT, 0) == result.faults_injected

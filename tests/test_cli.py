@@ -191,3 +191,68 @@ class TestCommands:
         assert code == 0
         err = capsys.readouterr().err
         assert "table3-single" in err and "ETA" in err
+
+
+class TestSweepCommand:
+    def test_sweep_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "gamess,povray", "-t", "esteem",
+             "--timeout", "5", "--retries", "1", "--backoff", "0.1",
+             "--checkpoint", "c.jsonl", "--resume",
+             "--inject", "plan.json", "--manifest", "m.json"]
+        )
+        assert args.command == "sweep"
+        assert args.workloads == "gamess,povray"
+        assert args.timeout == 5.0
+        assert args.retries == 1
+        assert args.resume is True
+
+    def test_sweep_small_complete(self, capsys):
+        code = main(
+            ["sweep", "--workloads", "gamess", "-t", "esteem",
+             "--instructions", "200000"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "sweep: 1/1 workloads" in captured.out
+        assert "esteem" in captured.out
+        assert "sweep complete" in captured.err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(["sweep", "--workloads", "gamess", "--resume", "-q"])
+        assert code == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_degraded_sweep_exits_3_with_manifest(self, capsys, tmp_path):
+        import json
+
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(chaos={"gamess": ("crash",) * 8}).save(plan_path)
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            ["sweep", "--workloads", "gamess", "-t", "esteem",
+             "--instructions", "200000", "--retries", "1",
+             "--backoff", "0.01", "--inject", str(plan_path),
+             "--manifest", str(manifest_path), "-q"]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "DEGRADED" in captured.err
+        assert "[WorkerCrash]" in captured.err
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["degraded"] is True
+        assert manifest["failed"][0]["workload"] == "gamess"
+
+    def test_bad_inject_plan_reported(self, capsys, tmp_path):
+        plan_path = tmp_path / "bad.json"
+        plan_path.write_text("{broken")
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["sweep", "--workloads", "gamess", "-t", "esteem",
+                 "--instructions", "200000", "--inject", str(plan_path), "-q"]
+            )
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "bad.json" in err

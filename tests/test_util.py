@@ -1,0 +1,65 @@
+"""Tests for shared utilities (crash-safe atomic writes)."""
+
+import json
+import os
+
+import pytest
+
+from repro.util import atomic_write, atomic_write_json
+
+
+class TestAtomicWrite:
+    def test_writes_text(self, tmp_path):
+        path = tmp_path / "out.txt"
+        returned = atomic_write(path, "hello\n")
+        assert returned == path
+        assert path.read_text() == "hello\n"
+
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write(path, b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_replaces_existing_content(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        atomic_write(tmp_path / "a.txt", "data")
+        assert os.listdir(tmp_path) == ["a.txt"]
+
+    def test_failure_cleans_up_temp_and_keeps_old_file(self, tmp_path):
+        # Make the final rename fail: the destination is a directory.
+        target = tmp_path / "occupied"
+        target.mkdir()
+        with pytest.raises(OSError):
+            atomic_write(target, "data")
+        # The temp file was unlinked and the target untouched.
+        assert sorted(os.listdir(tmp_path)) == ["occupied"]
+        assert target.is_dir()
+
+    def test_accepts_string_paths(self, tmp_path):
+        path = str(tmp_path / "s.txt")
+        atomic_write(path, "x")
+        assert open(path).read() == "x"
+
+    def test_fsync_mode_writes_identically(self, tmp_path):
+        path = tmp_path / "synced.txt"
+        atomic_write(path, "durable", fsync=True)
+        assert path.read_text() == "durable"
+
+
+class TestAtomicWriteJson:
+    def test_roundtrip_with_trailing_newline(self, tmp_path):
+        path = tmp_path / "obj.json"
+        atomic_write_json(path, {"b": 2, "a": [1, 2]})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"a": [1, 2], "b": 2}
+
+    def test_keys_sorted_for_stable_diffs(self, tmp_path):
+        path = tmp_path / "obj.json"
+        atomic_write_json(path, {"z": 1, "a": 1}, indent=None)
+        assert path.read_text() == '{"a": 1, "z": 1}\n'

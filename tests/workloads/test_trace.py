@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.workloads.trace import Trace, TraceCursor
+from repro.workloads.trace import Trace, TraceCorruptionError, TraceCursor
 
 
 @pytest.fixture
@@ -93,6 +93,72 @@ class TestSerialisation:
         assert loaded.base_cpi == 1.0
         assert loaded.mem_mlp == 1.0
         assert loaded.footprint_lines == 0
+
+
+class TestCorruption:
+    """Trace.load integrity checks: every failure names the file."""
+
+    def test_truncated_archive_rejected(self, trace, tmp_path):
+        path = tmp_path / "cut.npz"
+        trace.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(TraceCorruptionError, match="cut.npz"):
+            Trace.load(path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(TraceCorruptionError, match="garbage.npz"):
+            Trace.load(path)
+
+    def test_missing_required_column_rejected(self, trace, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(
+            path,
+            name=np.array(trace.name),
+            addrs=trace.addrs,
+            writes=trace.writes,  # gaps column lost
+        )
+        with pytest.raises(TraceCorruptionError, match=r"partial.npz.*gaps"):
+            Trace.load(path)
+
+    def test_inconsistent_column_lengths_rejected(self, trace, tmp_path):
+        path = tmp_path / "ragged.npz"
+        np.savez(
+            path,
+            name=np.array(trace.name),
+            addrs=np.asarray(trace.addrs)[:-1],
+            writes=trace.writes,
+            gaps=trace.gaps,
+        )
+        with pytest.raises(
+            TraceCorruptionError, match="inconsistent column lengths"
+        ):
+            Trace.load(path)
+
+    def test_record_count_mismatch_rejected(self, trace, tmp_path):
+        path = tmp_path / "short.npz"
+        np.savez(
+            path,
+            name=np.array(trace.name),
+            addrs=trace.addrs,
+            writes=trace.writes,
+            gaps=trace.gaps,
+            n_records=np.array(999),
+        )
+        with pytest.raises(TraceCorruptionError, match="n_records=999"):
+            Trace.load(path)
+
+    def test_error_is_a_value_error(self, tmp_path):
+        # Existing callers catching ValueError keep working.
+        assert issubclass(TraceCorruptionError, ValueError)
+
+    def test_save_records_count(self, trace, tmp_path):
+        path = tmp_path / "counted.npz"
+        trace.save(path)
+        with np.load(path) as data:
+            assert int(data["n_records"]) == len(trace)
 
 
 class TestCursor:
