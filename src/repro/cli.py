@@ -17,6 +17,11 @@ All experiment subcommands accept ``--instructions`` (trace scale),
 observability flags ``--profile`` (span timing report on stderr),
 ``-v``/``--verbose`` (progress + ETA lines during sweeps) and
 ``-q``/``--quiet`` (suppress stderr chatter).
+
+Sweep-shaped subcommands (``sweep``, ``figure``) consult a
+content-addressed result cache so unchanged units are never re-simulated;
+``--no-cache`` disables it and ``--cache-dir`` relocates it (default:
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``).
 """
 
 from __future__ import annotations
@@ -58,6 +63,12 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for workload sweeps")
+    parser.add_argument("--cache-dir", default=None, dest="cache_dir",
+                        metavar="DIR",
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro/results)")
+    parser.add_argument("--no-cache", action="store_true", dest="no_cache",
+                        help="neither read nor write the sweep result cache")
     parser.add_argument("--profile", action="store_true",
                         help="print a wall/CPU-time span report on stderr")
     parser.add_argument("-v", "--verbose", action="count", default=0,
@@ -101,6 +112,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
         [[m.acronym, m.name] for m in DUAL_CORE_MIXES],
     ))
     return 0
+
+
+def _result_cache(args: argparse.Namespace):
+    """The ResultCache selected by ``--cache-dir``/``--no-cache``.
+
+    Returns ``None`` when caching is disabled.  Subcommands without the
+    cache flags (e.g. ``run``) fall through to ``None`` too.
+    """
+    if getattr(args, "no_cache", False) or not hasattr(args, "no_cache"):
+        return None
+    from repro.experiments.result_cache import ResultCache, default_cache_dir
+
+    root = getattr(args, "cache_dir", None)
+    return ResultCache(root if root else default_cache_dir())
 
 
 def _make_profiler(args: argparse.Namespace):
@@ -178,11 +203,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         workloads = args.workloads.split(",")
     if args.jobs < 1:
         raise ValueError(f"jobs must be at least 1, got {args.jobs}")
+    cache = _result_cache(args)
     if args.jobs > 1:
         raw = parallel_compare(
             config, workloads, ("esteem", "rpv"),
             seed=args.seed, jobs=args.jobs,
-            progress=not args.quiet,
+            progress=not args.quiet, cache=cache,
         )
         rows = _figure_rows_from_raw(raw)
     else:
@@ -195,14 +221,14 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             from repro.experiments.figures import per_workload_comparison as _pwc
 
             for workload in workloads:
-                r, partial = _pwc(runner, [workload])
+                r, partial = _pwc(runner, [workload], cache=cache)
                 rows.extend(r)
                 raw["esteem"].extend(partial["esteem"])
                 raw["rpv"].extend(partial["rpv"])
                 reporter.advance(workload)
             reporter.finish()
         else:
-            rows, raw = per_workload_comparison(runner, workloads)
+            rows, raw = per_workload_comparison(runner, workloads, cache=cache)
     table = [
         [r.workload, r.esteem_energy_saving_pct, r.rpv_energy_saving_pct,
          r.esteem_weighted_speedup, r.rpv_weighted_speedup]
@@ -375,6 +401,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
         return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(
+            f"error: --jobs must be at least 1, got {args.jobs}",
+            file=sys.stderr,
+        )
+        return 2
     if config.num_cores == 1:
         workloads = [b.name for b in ALL_BENCHMARKS]
     else:
@@ -395,6 +427,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume=args.resume,
         plan=_load_plan(args),
         progress=not args.quiet,
+        cache=_result_cache(args),
     )
 
     rows = []
@@ -412,7 +445,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             ["technique", "n", "saving %", "WS", "dRPKI", "dMPKI", "active %"],
             rows,
             title=f"sweep: {len(result.completed)}/{len(workloads)} workloads"
-                  + (f" ({len(result.resumed)} resumed)" if result.resumed else ""),
+                  + (f" ({len(result.resumed)} resumed)" if result.resumed else "")
+                  + (f" ({len(result.cached)} cached)" if result.cached else ""),
         ))
     if args.csv:
         from repro.experiments.export import write_comparisons_csv
@@ -598,6 +632,9 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--manifest", default=None, metavar="FILE.json",
                      help="write the completion/failure manifest as JSON")
     _add_machine_args(swp)
+    # Sweeps are the bulk workload: default the worker count to the
+    # machine instead of 1 (None -> os.cpu_count() in resilient_sweep).
+    swp.set_defaults(jobs=None)
 
     ovh = sub.add_parser("overhead", help="evaluate Eq. 1 counter overhead")
     ovh.add_argument("--sets", type=int, default=4096)

@@ -1,17 +1,29 @@
-"""Process-wide trace cache.
+"""Process-wide trace cache with an LRU byte cap.
 
 Trace generation is deterministic in ``(benchmark, instruction budget,
 seed)`` but costs up to a second per streaming workload, and every
 figure/table bench reuses the same traces across techniques and
 configurations.  This module memoises them for the lifetime of the process.
 
-Observability: cache hits/misses and generation time are recorded in the
-process-wide default metrics registry (``trace_cache.*`` names), and a
-caller-supplied :class:`~repro.obs.profile.Profiler` gets one span per
-actual generation (cache misses only).
+The cache is bounded: entries are kept in least-recently-used order and
+evicted once the summed column payload exceeds the byte cap (default
+1 GiB, overridable via ``REPRO_TRACE_CACHE_BYTES``), so a long sweep
+process cannot grow without bound.  Accounting covers the NumPy columns
+only -- the lazily materialised list views a trace may carry ride along
+with their trace and are dropped by the same eviction.  The most recent
+entry is always retained, even when it alone exceeds the cap: evicting
+the trace that was just inserted would guarantee regeneration thrash.
+
+Observability: cache hits/misses/evictions and generation time are
+recorded in the process-wide default metrics registry (``trace_cache.*``
+names), and a caller-supplied :class:`~repro.obs.profile.Profiler` gets
+one span per actual generation (cache misses only).
 """
 
 from __future__ import annotations
+
+import os
+from collections import OrderedDict
 
 from repro.obs.metrics import get_default_registry
 from repro.obs.profile import Profiler
@@ -19,9 +31,60 @@ from repro.workloads.profiles import BenchmarkProfile
 from repro.workloads.synthetic import generate_trace
 from repro.workloads.trace import Trace
 
-__all__ = ["get_trace", "put", "clear"]
+__all__ = [
+    "DEFAULT_MAX_BYTES",
+    "clear",
+    "contains",
+    "current_bytes",
+    "get_trace",
+    "max_bytes",
+    "put",
+]
 
-_CACHE: dict[tuple[str, int, int], Trace] = {}
+#: Default cache cap: roomy enough for every Table 1 workload at paper
+#: bench scale, small enough that a pool worker cannot balloon.
+DEFAULT_MAX_BYTES = 1 << 30
+
+_CACHE: "OrderedDict[tuple[str, int, int], Trace]" = OrderedDict()
+_CACHE_BYTES = 0
+
+
+def max_bytes() -> int:
+    """The active byte cap (``REPRO_TRACE_CACHE_BYTES`` wins when valid)."""
+    raw = os.environ.get("REPRO_TRACE_CACHE_BYTES")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_MAX_BYTES
+        if value > 0:
+            return value
+    return DEFAULT_MAX_BYTES
+
+
+def current_bytes() -> int:
+    """Column payload bytes currently held (for tests and gauges)."""
+    return _CACHE_BYTES
+
+
+def _trace_nbytes(trace: Trace) -> int:
+    return trace.addrs.nbytes + trace.writes.nbytes + trace.gaps.nbytes
+
+
+def _insert(key: tuple[str, int, int], trace: Trace) -> None:
+    global _CACHE_BYTES
+    old = _CACHE.pop(key, None)
+    if old is not None:
+        _CACHE_BYTES -= _trace_nbytes(old)
+    _CACHE[key] = trace
+    _CACHE_BYTES += _trace_nbytes(trace)
+    cap = max_bytes()
+    registry = get_default_registry()
+    while _CACHE_BYTES > cap and len(_CACHE) > 1:
+        _evicted_key, evicted = _CACHE.popitem(last=False)
+        _CACHE_BYTES -= _trace_nbytes(evicted)
+        registry.counter("trace_cache.evictions").inc()
+    registry.gauge("trace_cache.bytes").set(float(_CACHE_BYTES))
 
 
 def get_trace(
@@ -48,8 +111,9 @@ def get_trace(
             ).observe(span.wall_s)
         else:
             trace = generate_trace(profile, max_instructions, seed=seed)
-        _CACHE[key] = trace
+        _insert(key, trace)
     else:
+        _CACHE.move_to_end(key)
         registry.counter("trace_cache.hits").inc()
     return trace
 
@@ -63,14 +127,30 @@ def put(
 ) -> None:
     """Seed the cache with an externally built trace.
 
-    ``parallel_compare`` workers receive the parent's already-generated
-    traces over the pickle path and install them here, so a worker never
-    regenerates a trace the parent (or an earlier sweep) has built.
-    Counts as neither a hit nor a miss.
+    Sweep workers receive the parent's already-generated traces (as
+    shared-memory handles or pickled arrays) and install them here, so a
+    worker never regenerates a trace the parent (or an earlier sweep) has
+    built.  Counts as neither a hit nor a miss.
     """
-    _CACHE[(profile_name, max_instructions, seed)] = trace
+    _insert((profile_name, max_instructions, seed), trace)
+
+
+def contains(profile_name: str, max_instructions: int, seed: int) -> bool:
+    """Whether a trace is cached (touches LRU recency, no hit/miss count).
+
+    Warm pool workers use this to keep an already-installed trace --
+    and its materialised list views -- instead of re-attaching the same
+    shared segment and discarding the warm state.
+    """
+    key = (profile_name, max_instructions, seed)
+    if key in _CACHE:
+        _CACHE.move_to_end(key)
+        return True
+    return False
 
 
 def clear() -> None:
     """Drop all cached traces (tests use this to bound memory)."""
+    global _CACHE_BYTES
     _CACHE.clear()
+    _CACHE_BYTES = 0

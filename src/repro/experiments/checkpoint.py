@@ -25,7 +25,6 @@ work.  Properties the resilient harness relies on:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import sys
 from pathlib import Path
@@ -38,7 +37,7 @@ from repro.experiments.runner import (
     comparison_to_dict,
 )
 from repro.faults.plan import FaultPlan
-from repro.util import atomic_write
+from repro.util import atomic_write, stable_fingerprint
 
 __all__ = ["SweepCheckpoint", "sweep_fingerprint"]
 
@@ -64,8 +63,7 @@ def sweep_fingerprint(
         "seed": seed,
         "plan": plan.as_dict() if plan is not None else None,
     }
-    text = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+    return stable_fingerprint(payload, length=16)
 
 
 class SweepCheckpoint:

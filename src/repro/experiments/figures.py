@@ -71,19 +71,59 @@ class FigureRow:
     esteem_active_ratio_pct: float
 
 
+def _probe_cache(
+    cache, runner: Runner, workload: str, techniques: tuple[str, ...]
+) -> tuple[str, list[RunComparison] | None]:
+    """``(fingerprint, hit-or-None)`` for one figure unit.
+
+    Fingerprint is ``""`` when the unit cannot be fingerprinted; a hit is
+    returned in technique order and validated against the unit it claims
+    to be (anything off counts as a miss).
+    """
+    if cache is None:
+        return "", None
+    from repro.experiments.result_cache import unit_fingerprint
+
+    try:
+        fingerprint = unit_fingerprint(
+            runner.config, workload, techniques, runner.seed, runner.fault_plan
+        )
+    except Exception:
+        return "", None
+    hit = cache.get(fingerprint)
+    if hit is None:
+        return fingerprint, None
+    by_tech = {c.technique: c for c in hit if c.workload == workload}
+    if set(by_tech) != set(techniques) or len(hit) != len(techniques):
+        return fingerprint, None
+    return fingerprint, [by_tech[t] for t in techniques]
+
+
 def per_workload_comparison(
-    runner: Runner, workloads: list[str]
+    runner: Runner, workloads: list[str], cache=None
 ) -> tuple[list[FigureRow], dict[str, list[RunComparison]]]:
     """Run ESTEEM and RPV on every workload; build figure rows.
 
     Returns the rows plus the raw comparisons keyed by technique (for
-    aggregation).
+    aggregation).  With ``cache`` set (a
+    :class:`~repro.experiments.result_cache.ResultCache`), units whose
+    content fingerprint is already cached are served bit-for-bit without
+    simulating, and freshly computed units are stored back -- so
+    regenerating a figure after an unrelated change skips straight to
+    rendering.
     """
+    techniques = ("esteem", "rpv")
     rows: list[FigureRow] = []
     raw: dict[str, list[RunComparison]] = {"esteem": [], "rpv": []}
     for workload in workloads:
-        esteem = runner.compare(workload, "esteem")
-        rpv = runner.compare(workload, "rpv")
+        fingerprint, hit = _probe_cache(cache, runner, workload, techniques)
+        if hit is not None:
+            esteem, rpv = hit
+        else:
+            esteem = runner.compare(workload, "esteem")
+            rpv = runner.compare(workload, "rpv")
+            if cache is not None and fingerprint:
+                cache.put(fingerprint, [esteem, rpv])
         raw["esteem"].append(esteem)
         raw["rpv"].append(rpv)
         rows.append(

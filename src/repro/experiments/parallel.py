@@ -3,15 +3,27 @@
 The figure/table sweeps are embarrassingly parallel across workloads: each
 (workload, techniques) unit regenerates its traces, runs the baseline once,
 and runs each technique against it.  This module fans those units out over
-a :class:`~concurrent.futures.ProcessPoolExecutor`.
+worker processes.
 
 Granularity note: parallelism is per *workload*, not per (workload,
 technique) -- the baseline run and the generated traces are shared between
 techniques within a worker, which is the same sharing the sequential
 :class:`~repro.experiments.runner.Runner` exploits.
 
-Everything crossing the process boundary (configs, traces, results) is
-plain dataclasses/ints, so the default pickling works.
+Execution engines (:mod:`repro.experiments.pool`): by default
+:func:`resilient_sweep` dispatches units to a persistent pool of *warm*
+workers that amortise interpreter start, module imports, trace state and
+memoised warm-L2 images across units, receive traces zero-copy as
+shared-memory handles, and are recycled only on crash or hang
+(``use_pool=False`` restores the one-spawn-per-attempt engine).  Both
+engines run the same timeout/retry/checkpoint/degradation state machine
+in this module, so resilience semantics are engine-independent.
+
+Results can additionally be served from a content-addressed
+:class:`~repro.experiments.result_cache.ResultCache`: units whose full
+input fingerprint (profiles, budget, seed, techniques, config, fault
+plan, engine version) matches a cached entry are returned bit-for-bit
+without running at all.
 
 Observability: with ``progress=True`` (or a custom
 :class:`~repro.obs.profile.ProgressReporter`) each completed workload
@@ -24,7 +36,6 @@ unpicklable exception from the pool.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback
@@ -37,13 +48,11 @@ from typing import Any, Iterable, Sequence
 from repro.config import SimConfig
 from repro.experiments import _trace_cache
 from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
-from repro.experiments.runner import RunComparison, Runner
-from repro.faults.chaos import ChaosWorkerProxy
+from repro.experiments.result_cache import ResultCache, unit_fingerprint
+from repro.experiments.runner import RunComparison, Runner, profiles_for
 from repro.faults.plan import FaultPlan
 from repro.obs.profile import Profiler, ProgressReporter
-from repro.workloads.multiprog import get_mix
-from repro.workloads.profiles import get_profile
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceShmHandle
 
 __all__ = [
     "FailedWorkload",
@@ -105,11 +114,9 @@ def _trace_needs_for(config: SimConfig, workload: str, seed: int) -> list[tuple]
     """``(cache_key, profile)`` pairs a workload's unit will ask for
     (mirrors :meth:`Runner.traces_for`)."""
     budget = config.instructions_per_core
-    if config.num_cores == 1:
-        profiles = [get_profile(workload)]
-    else:
-        profiles = list(get_mix(workload).profiles)
-    return [((p.name, budget, seed), p) for p in profiles]
+    return [
+        ((p.name, budget, seed), p) for p in profiles_for(config, workload)
+    ]
 
 
 def _workload_task(
@@ -122,17 +129,26 @@ def _workload_task(
     hardware faults (Plane 1) are injected into every simulated system.
 
     ``preloaded`` carries the parent's already-generated traces for this
-    workload (the NumPy columns ride the pickle path; list/record caches
-    are rebuilt lazily worker-side) -- the worker seeds its trace cache
-    with them instead of regenerating.  Returns the comparisons plus the
-    unit's wall time; failures are re-raised as
+    workload, either as :class:`Trace` objects (the NumPy columns ride
+    the pickle path; list/record caches are rebuilt lazily worker-side)
+    or as :class:`TraceShmHandle` descriptors naming shared-memory
+    segments the worker attaches zero-copy.  Either way the worker seeds
+    its trace cache instead of regenerating; a handle whose trace is
+    already cached (e.g. inherited across a fork, or installed by an
+    earlier unit on a warm pool worker) is skipped so the warm copy and
+    its materialised list views survive.  Returns the comparisons plus
+    the unit's wall time; failures are re-raised as
     :class:`ParallelWorkerError` so the parent knows which workload died
     and (via ``exc_type``) what kind of exception killed it.
     """
     config, workload, techniques, seed, preloaded, *rest = args
     fault_plan: FaultPlan | None = rest[0] if rest else None
-    for (name, budget, trace_seed), trace in preloaded.items():
-        _trace_cache.put(name, budget, trace_seed, trace)
+    for (name, budget, trace_seed), shipped in preloaded.items():
+        if isinstance(shipped, TraceShmHandle):
+            if _trace_cache.contains(name, budget, trace_seed):
+                continue
+            shipped = Trace.from_shm(shipped)
+        _trace_cache.put(name, budget, trace_seed, shipped)
     profiler = Profiler()
     try:
         with profiler.span(f"worker:{workload}") as span:
@@ -149,6 +165,37 @@ def _workload_task(
         ) from None
 
 
+def _cached_unit(
+    cache: ResultCache | None,
+    config: SimConfig,
+    workload: str,
+    techniques: tuple[str, ...],
+    seed: int,
+    plan: FaultPlan | None,
+) -> tuple[str, list[RunComparison] | None]:
+    """Probe the result cache for one unit.
+
+    Returns ``(fingerprint, comparisons-or-None)``.  The fingerprint is
+    ``""`` when the unit cannot be fingerprinted (unknown workload -- it
+    then runs uncached and fails with its real error).  A hit is
+    re-shaped into technique order and sanity-checked against the unit it
+    claims to be; anything off is a miss.
+    """
+    if cache is None:
+        return "", None
+    try:
+        fingerprint = unit_fingerprint(config, workload, techniques, seed, plan)
+    except Exception:
+        return "", None
+    hit = cache.get(fingerprint)
+    if hit is None:
+        return fingerprint, None
+    by_tech = {c.technique: c for c in hit if c.workload == workload}
+    if set(by_tech) != set(techniques) or len(hit) != len(techniques):
+        return fingerprint, None
+    return fingerprint, [by_tech[t] for t in techniques]
+
+
 def parallel_compare(
     config: SimConfig,
     workloads: Iterable[str],
@@ -156,17 +203,23 @@ def parallel_compare(
     seed: int = 0,
     jobs: int | None = None,
     progress: bool | ProgressReporter = False,
+    cache: ResultCache | None = None,
 ) -> dict[str, list[RunComparison]]:
     """Run ``techniques`` on every workload, fanned out over processes.
 
     Returns comparisons keyed by technique, in workload order -- the same
     shape as running :meth:`Runner.compare_many` per technique, but using
     up to ``jobs`` worker processes (default: the machine's CPU count).
+    Units found in ``cache`` are returned without running (bit-for-bit
+    identical, see :mod:`repro.experiments.result_cache`); fresh units
+    are stored back.
 
     ``progress=True`` prints one per-workload completion line with an ETA
     to stderr; pass a :class:`~repro.obs.profile.ProgressReporter` to
     control the stream/label (its ``total`` is overridden).
     """
+    from repro.experiments.pool import SharedTraceStore
+
     workload_list = list(workloads)
     if not workload_list:
         raise ValueError("need at least one workload")
@@ -187,40 +240,67 @@ def parallel_compare(
             len(workload_list), label="sweep", enabled=bool(progress)
         )
 
+    results: list[list[RunComparison] | None] = [None] * len(workload_list)
+    fingerprints: list[str] = [""] * len(workload_list)
+    pending_units: list[int] = []
+    for i, w in enumerate(workload_list):
+        fingerprints[i], hit = _cached_unit(
+            cache, config, w, technique_tuple, seed, None
+        )
+        if hit is not None:
+            results[i] = hit
+            reporter.advance(f"{w} (cached)", 0.0)
+        else:
+            pending_units.append(i)
+
     # Generate each needed trace exactly once in the parent (memoised
-    # process-wide, so repeated sweeps pay nothing) and ship the arrays
-    # to the workers instead of regenerating them per worker.  Best
+    # process-wide, so repeated sweeps pay nothing).  Multi-process runs
+    # export the columns to shared memory and ship ~100-byte handles;
+    # the in-process path hands workers the traces directly.  Best
     # effort: an unresolvable workload ships nothing, so the worker hits
     # the same error itself and reports it as ParallelWorkerError.
-    tasks = []
-    for w in workload_list:
-        try:
-            preloaded = {
-                key: _trace_cache.get_trace(profile, key[1], key[2])
-                for key, profile in _trace_needs_for(config, w, seed)
-            }
-        except Exception:
-            preloaded = {}
-        tasks.append((config, w, technique_tuple, seed, preloaded))
-    results: list[list[RunComparison] | None] = [None] * len(tasks)
-    if jobs == 1:
-        for i, task in enumerate(tasks):
-            comparisons, unit_seconds = _workload_task(task)
+    store = SharedTraceStore() if jobs > 1 else None
+    try:
+        tasks = []
+        for i in pending_units:
+            w = workload_list[i]
+            preloaded: dict[Any, Any] = {}
+            try:
+                for key, profile in _trace_needs_for(config, w, seed):
+                    trace = _trace_cache.get_trace(profile, key[1], key[2])
+                    preloaded[key] = (
+                        store.acquire(key, trace) if store is not None
+                        else trace
+                    )
+            except Exception:
+                preloaded = {}
+            tasks.append((config, w, technique_tuple, seed, preloaded))
+
+        def complete(i: int, comparisons: list[RunComparison], wall_s: float):
             results[i] = comparisons
-            reporter.advance(workload_list[i], unit_seconds)
-    else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            pending = {
-                pool.submit(_workload_task, task): i
-                for i, task in enumerate(tasks)
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = pending.pop(future)
-                    comparisons, unit_seconds = future.result()
-                    results[i] = comparisons
-                    reporter.advance(workload_list[i], unit_seconds)
+            if cache is not None and fingerprints[i]:
+                cache.put(fingerprints[i], comparisons)
+            reporter.advance(workload_list[i], wall_s)
+
+        if jobs == 1:
+            for i, task in zip(pending_units, tasks):
+                comparisons, unit_seconds = _workload_task(task)
+                complete(i, comparisons, unit_seconds)
+        elif tasks:
+            with ProcessPoolExecutor(max_workers=jobs) as executor:
+                pending = {
+                    executor.submit(_workload_task, task): i
+                    for i, task in zip(pending_units, tasks)
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        i = pending.pop(future)
+                        comparisons, unit_seconds = future.result()
+                        complete(i, comparisons, unit_seconds)
+    finally:
+        if store is not None:
+            store.close()
     reporter.finish()
 
     out: dict[str, list[RunComparison]] = {t: [] for t in technique_tuple}
@@ -254,7 +334,11 @@ class SweepResult:
     same shape :func:`parallel_compare` returns); ``failed`` is the
     missing-workload manifest.  ``degraded`` is True when at least one
     unit was abandoned -- the surviving results are still exact (each
-    unit is independent), the sweep is just incomplete.
+    unit is independent), the sweep is just incomplete.  ``cached``
+    lists units served whole from the result cache, and the
+    ``workers_*`` counters describe the execution engine's process
+    economy (a spawn-per-unit run spawns once per attempt; a pooled run
+    spawns at most ``jobs`` plus one per crash/hang recycle).
     """
 
     comparisons: dict[str, list[RunComparison]]
@@ -263,6 +347,9 @@ class SweepResult:
     resumed: list[str] = field(default_factory=list)
     attempts: int = 0
     retries: int = 0
+    cached: list[str] = field(default_factory=list)
+    workers_spawned: int = 0
+    workers_recycled: int = 0
 
     @property
     def degraded(self) -> bool:
@@ -274,8 +361,11 @@ class SweepResult:
             "degraded": self.degraded,
             "completed": list(self.completed),
             "resumed": list(self.resumed),
+            "cached": list(self.cached),
             "attempts": self.attempts,
             "retries": self.retries,
+            "workers_spawned": self.workers_spawned,
+            "workers_recycled": self.workers_recycled,
             "failed": [
                 {
                     "workload": f.workload,
@@ -295,36 +385,11 @@ class _Unit:
     index: int
     workload: str
     task: tuple
+    fingerprint: str = ""
+    shm_keys: tuple = ()
     attempt: int = 0  # attempts already consumed
     last_exc_type: str = ""
     last_detail: str = ""
-
-
-def _resilient_entry(
-    conn, task: tuple, plan: FaultPlan | None, workload: str, attempt: int
-) -> None:
-    """Child-process entry point for one resilient-sweep attempt.
-
-    Runs :func:`_workload_task` (optionally wrapped in a
-    :class:`ChaosWorkerProxy` when the fault plan scripts Plane-2
-    misbehaviour for this attempt) and ships either ``("ok", result)`` or
-    ``("error", exc_type, detail)`` back through the pipe.  A chaos
-    ``crash`` never reaches the send -- the parent sees the pipe close
-    with no message, exactly like a real segfault.
-    """
-    try:
-        if plan is not None and plan.has_chaos():
-            proxy = ChaosWorkerProxy(plan, workload, attempt)
-            result = proxy(lambda: _workload_task(task))
-        else:
-            result = _workload_task(task)
-        conn.send(("ok", result))
-    except ParallelWorkerError as exc:
-        conn.send(("error", exc.exc_type, exc.detail))
-    except BaseException as exc:  # noqa: BLE001 -- must not die silently
-        conn.send(("error", type(exc).__name__, traceback.format_exc()))
-    finally:
-        conn.close()
 
 
 def _validate_unit_result(payload: Any) -> tuple[list[RunComparison], float] | None:
@@ -359,36 +424,53 @@ def resilient_sweep(
     resume: bool = False,
     plan: FaultPlan | None = None,
     progress: bool | ProgressReporter = False,
+    cache: ResultCache | None = None,
+    use_pool: bool = True,
 ) -> SweepResult:
     """A :func:`parallel_compare` that survives hostile infrastructure.
 
-    Each (workload, all-techniques) unit runs in its own worker process
-    connected by a pipe, so the parent can enforce a per-attempt
-    wall-clock ``timeout_s`` by terminating a hung worker -- something a
-    ``ProcessPoolExecutor`` cannot do to a running task.  Failed attempts
-    are classified by exception type: transient ones
-    (:data:`TRANSIENT_EXC_TYPES`: crashes, timeouts, corrupt results,
-    broken pipes) are retried up to ``retries`` times with exponential
-    backoff (``backoff_s * 2**(attempt-1)``); deterministic ones fail
-    fast, because a unit that raised ``ValueError`` once will raise it on
-    every retry.
+    Each (workload, all-techniques) unit runs one attempt at a time in a
+    worker process connected by a pipe, so the parent can enforce a
+    per-attempt wall-clock ``timeout_s`` by terminating a hung worker --
+    something a ``ProcessPoolExecutor`` cannot do to a running task.
+    With ``use_pool=True`` (the default) attempts are dispatched to the
+    persistent warm-worker engine and traces travel as zero-copy
+    shared-memory handles; a terminated or crashed worker is recycled,
+    every other worker stays warm.  ``use_pool=False`` spawns one
+    process per attempt (the PR 3 engine; the throughput benchmark's
+    baseline).  Failed attempts are classified by exception type:
+    transient ones (:data:`TRANSIENT_EXC_TYPES`: crashes, timeouts,
+    corrupt results, broken pipes) are retried up to ``retries`` times
+    with exponential backoff (``backoff_s * 2**(attempt-1)``);
+    deterministic ones fail fast, because a unit that raised
+    ``ValueError`` once will raise it on every retry.
 
     Determinism: a retried unit reproduces the original attempt bit for
     bit -- traces are functions of ``(profile, budget, seed)``, and the
     fault plan's Plane-1 RNG stream is keyed by ``(plan.seed, workload,
-    technique)``, independent of the attempt number.
+    technique)``, independent of the attempt number and of which worker
+    process (warm or fresh) runs it.
 
     With ``checkpoint`` set, every completed unit is persisted
     atomically; with ``resume=True`` units already in the checkpoint are
     skipped and their checkpointed comparisons returned (bit-for-bit
     equal to re-running them, see
-    :mod:`repro.experiments.checkpoint`).
+    :mod:`repro.experiments.checkpoint`).  With ``cache`` set, units
+    whose content fingerprint is already cached are returned without
+    running (and recorded into the checkpoint, so a later ``--resume``
+    agrees); fresh units are stored back on completion.
 
     Instead of raising on a unit that exhausts its retries, the sweep
     degrades: surviving units are returned, the lost unit lands in the
     :class:`SweepResult` ``failed`` manifest, and ``degraded`` flips
     True.  Callers decide whether partial results are acceptable.
     """
+    from repro.experiments.pool import (
+        SharedTraceStore,
+        SpawnExecutor,
+        WorkerPool,
+    )
+
     workload_list = list(workloads)
     if not workload_list:
         raise ValueError("need at least one workload")
@@ -422,8 +504,10 @@ def resilient_sweep(
             len(workload_list), label="sweep", enabled=bool(progress)
         )
 
+    store = SharedTraceStore() if use_pool else None
     results: list[list[RunComparison] | None] = [None] * len(workload_list)
     resumed: list[str] = []
+    cached: list[str] = []
     units: deque[_Unit] = deque()
     for i, w in enumerate(workload_list):
         if ckpt is not None and ckpt.has_workload(w, technique_tuple):
@@ -434,25 +518,58 @@ def resilient_sweep(
             resumed.append(w)
             reporter.advance(w, 0.0)
             continue
+        unit_fp, hit = _cached_unit(
+            cache, config, w, technique_tuple, seed, plan
+        )
+        if hit is not None:
+            results[i] = hit
+            cached.append(w)
+            if ckpt is not None:
+                ckpt.record(hit)
+            reporter.advance(f"{w} (cached)", 0.0)
+            continue
+        preloaded: dict[Any, Any] = {}
+        shm_keys: list = []
         try:
-            preloaded = {
-                key: _trace_cache.get_trace(profile, key[1], key[2])
-                for key, profile in _trace_needs_for(config, w, seed)
-            }
+            for key, profile in _trace_needs_for(config, w, seed):
+                trace = _trace_cache.get_trace(profile, key[1], key[2])
+                if store is not None:
+                    preloaded[key] = store.acquire(key, trace)
+                    shm_keys.append(key)
+                else:
+                    preloaded[key] = trace
         except Exception:
             # Unresolvable workload: ship nothing; the worker hits the
             # same error itself and reports it deterministically.
-            preloaded = {}
+            if store is not None:
+                for key in shm_keys:
+                    store.release(key)
+            preloaded, shm_keys = {}, []
         task = (config, w, technique_tuple, seed, preloaded, plan)
-        units.append(_Unit(index=i, workload=w, task=task))
+        units.append(
+            _Unit(
+                index=i,
+                workload=w,
+                task=task,
+                fingerprint=unit_fp,
+                shm_keys=tuple(shm_keys),
+            )
+        )
 
     failed: list[FailedWorkload] = []
     total_attempts = 0
     total_retries = 0
-    # conn -> (unit, process, deadline | None)
-    running: dict[Any, tuple[_Unit, multiprocessing.Process, float | None]] = {}
+    executor = WorkerPool(jobs) if use_pool else SpawnExecutor()
+    # conn -> (unit, deadline | None)
+    running: dict[Any, tuple[_Unit, float | None]] = {}
     # (ready_time, unit) entries waiting out their backoff.
     backing_off: list[tuple[float, _Unit]] = []
+
+    def settle(unit: _Unit) -> None:
+        """Release the unit's shared segments once its fate is final."""
+        if store is not None:
+            for key in unit.shm_keys:
+                store.release(key)
 
     def abandon(unit: _Unit, exc_type: str, detail: str) -> None:
         failed.append(
@@ -463,6 +580,7 @@ def resilient_sweep(
                 detail=detail,
             )
         )
+        settle(unit)
         reporter.advance(f"{unit.workload} (FAILED)", 0.0)
 
     def dispose(unit: _Unit, exc_type: str, detail: str) -> None:
@@ -490,24 +608,13 @@ def resilient_sweep(
                 backing_off[:] = still_waiting
             while units and len(running) < jobs:
                 unit = units.popleft()
-                parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
-                proc = multiprocessing.Process(
-                    target=_resilient_entry,
-                    args=(
-                        child_conn,
-                        unit.task,
-                        plan,
-                        unit.workload,
-                        unit.attempt,
-                    ),
-                    daemon=True,
+                conn = executor.start(
+                    unit.task, unit.workload, unit.attempt, plan
                 )
-                proc.start()
-                child_conn.close()
                 unit.attempt += 1
                 total_attempts += 1
                 deadline = now + timeout_s if timeout_s is not None else None
-                running[parent_conn] = (unit, proc, deadline)
+                running[conn] = (unit, deadline)
             if not running:
                 if backing_off:
                     sleep_until = min(t for t, _ in backing_off)
@@ -516,26 +623,20 @@ def resilient_sweep(
             # Block until a worker reports, dies, or a deadline/backoff
             # expiry needs attention.
             wait_timeout = None
-            deadlines = [d for _, _, d in running.values() if d is not None]
+            deadlines = [d for _, d in running.values() if d is not None]
             wake_times = deadlines + [t for t, _ in backing_off]
             if wake_times:
                 wait_timeout = max(0.0, min(wake_times) - time.monotonic())
             ready = pipe_wait(list(running), timeout=wait_timeout)
             for conn in ready:
-                unit, proc, _deadline = running.pop(conn)
-                message = None
-                try:
-                    message = conn.recv()
-                except (EOFError, OSError):
-                    message = None
-                conn.close()
-                proc.join()
+                unit, _deadline = running.pop(conn)
+                message, exitcode = executor.finish(conn)
                 if message is None:
                     dispose(
                         unit,
                         "WorkerCrash",
                         f"worker exited without a result "
-                        f"(exitcode={proc.exitcode})",
+                        f"(exitcode={exitcode})",
                     )
                 elif message[0] == "ok":
                     validated = _validate_unit_result(message[1])
@@ -549,8 +650,11 @@ def resilient_sweep(
                     else:
                         comparisons, wall_s = validated
                         results[unit.index] = comparisons
+                        settle(unit)
                         if ckpt is not None:
                             ckpt.record(comparisons)
+                        if cache is not None and unit.fingerprint:
+                            cache.put(unit.fingerprint, comparisons)
                         reporter.advance(unit.workload, wall_s)
                 else:
                     _tag, exc_type, detail = message
@@ -559,14 +663,12 @@ def resilient_sweep(
             now = time.monotonic()
             overdue = [
                 conn
-                for conn, (_u, _p, deadline) in running.items()
+                for conn, (_u, deadline) in running.items()
                 if deadline is not None and now >= deadline
             ]
             for conn in overdue:
-                unit, proc, _deadline = running.pop(conn)
-                proc.terminate()
-                proc.join()
-                conn.close()
+                unit, _deadline = running.pop(conn)
+                executor.abort(conn)
                 dispose(
                     unit,
                     "TimeoutError",
@@ -574,10 +676,13 @@ def resilient_sweep(
                     f"timeout and was terminated",
                 )
     finally:
-        for conn, (unit, proc, _deadline) in running.items():
-            proc.terminate()
-            proc.join()
-            conn.close()
+        try:
+            for conn in list(running):
+                executor.abort(conn)
+            executor.close()
+        finally:
+            if store is not None:
+                store.close()
     reporter.finish()
 
     out: dict[str, list[RunComparison]] = {t: [] for t in technique_tuple}
@@ -595,4 +700,7 @@ def resilient_sweep(
         resumed=resumed,
         attempts=total_attempts,
         retries=total_retries,
+        cached=cached,
+        workers_spawned=executor.workers_spawned,
+        workers_recycled=executor.workers_recycled,
     )

@@ -1,0 +1,400 @@
+"""Sweep execution engines: warm worker pool, spawn-per-unit, shm store.
+
+The figure/table sweeps run many independent ``(workload, techniques)``
+units.  PR 3's resilient harness paid a full process spawn per *attempt*:
+interpreter fork, module import state, cold trace cache, cold warm-L2
+image cache -- orchestration overhead that dominates short units.  This
+module keeps those costs amortised:
+
+* :class:`WorkerPool` -- a persistent pool of warm workers.  Each worker
+  is a long-lived child process running :func:`_pool_worker_main`, a
+  request/response loop over a duplex pipe.  Across units a worker keeps
+  its imported modules, its process-wide trace cache, and the memoised
+  warm-L2 images, so only the first unit a worker sees pays setup.  A
+  worker is *recycled* (discarded and lazily replaced) only when it
+  crashes (pipe EOF) or hangs (the harness aborts it on deadline); a unit
+  that merely raises keeps its worker warm.
+* :class:`SpawnExecutor` -- the PR 3 per-unit-spawn path behind the same
+  executor interface, kept as the benchmark reference and fallback.
+* :class:`SharedTraceStore` -- parent-side refcounted export of traces
+  into named ``multiprocessing.shared_memory`` segments, so workers
+  attach multi-million-record columns zero-copy instead of receiving a
+  pickled copy per worker.  Segments are unlinked when their refcount
+  drops to zero and unconditionally in :meth:`SharedTraceStore.close`,
+  which the sweep calls in a ``finally`` -- a crashed or recycled worker
+  can never leak ``/dev/shm`` entries, because workers never own
+  segments.
+
+Both executors speak the same protocol to the resilient harness:
+``start()`` returns a pollable connection, ``finish()`` collects the
+attempt's message (``None`` means the worker died without reporting),
+``abort()`` terminates a hung attempt, ``close()`` tears everything
+down.  The harness's timeout/retry/checkpoint semantics live entirely in
+:func:`repro.experiments.parallel.resilient_sweep` and are identical on
+either engine.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import traceback
+from typing import Any
+
+from repro.experiments.parallel import ParallelWorkerError, _workload_task
+from repro.faults.chaos import ChaosWorkerProxy
+from repro.faults.plan import FaultPlan
+from repro.obs.metrics import get_default_registry
+from repro.workloads.trace import Trace
+
+__all__ = [
+    "SharedTraceStore",
+    "SpawnExecutor",
+    "WorkerPool",
+    "active_shm_segments",
+    "created_shm_segments",
+]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory segment bookkeeping
+#
+# Every segment this process creates is recorded here so tests (and the
+# CI smoke gate) can prove none outlive their sweep.  The *live* set
+# holds names created but not yet unlinked; the *created* list is the
+# full history.
+# ----------------------------------------------------------------------
+
+_LIVE_SEGMENTS: set[str] = set()
+_CREATED_SEGMENTS: list[str] = []
+
+
+def active_shm_segments() -> list[str]:
+    """Names of shared segments this process created and has not unlinked.
+
+    Empty after every well-behaved sweep; a non-empty result is a leak.
+    """
+    return sorted(_LIVE_SEGMENTS)
+
+
+def created_shm_segments() -> list[str]:
+    """All segment names this process ever created (leak-audit history)."""
+    return list(_CREATED_SEGMENTS)
+
+
+class SharedTraceStore:
+    """Refcounted exporter of traces into shared-memory segments.
+
+    The sweep parent acquires one reference per unit that ships a given
+    trace (dual-core mixes share profile traces across units, so counts
+    exceed one); the segment is unlinked when the last reference is
+    released or, unconditionally, on :meth:`close`.  Attaching workers
+    never unlink -- segment lifetime is owned entirely by this store, so
+    a worker crash mid-unit cannot leak the segment.
+    """
+
+    def __init__(self) -> None:
+        # key -> [shm, handle, refcount]
+        self._entries: dict[Any, list] = {}
+
+    def acquire(self, key: Any, trace: Trace):
+        """Export ``trace`` (once) and take a reference; returns the handle."""
+        entry = self._entries.get(key)
+        if entry is None:
+            shm, handle = trace.to_shm()
+            _LIVE_SEGMENTS.add(handle.segment)
+            _CREATED_SEGMENTS.append(handle.segment)
+            entry = self._entries[key] = [shm, handle, 0]
+        entry[2] += 1
+        return entry[1]
+
+    def release(self, key: Any) -> None:
+        """Drop one reference; unlink the segment when none remain."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        entry[2] -= 1
+        if entry[2] <= 0:
+            self._destroy(key)
+
+    def close(self) -> None:
+        """Unlink every segment regardless of refcount (sweep ``finally``)."""
+        for key in list(self._entries):
+            self._destroy(key)
+
+    def _destroy(self, key: Any) -> None:
+        shm, handle, _refs = self._entries.pop(key)
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            _LIVE_SEGMENTS.discard(handle.segment)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# ----------------------------------------------------------------------
+# Attempt execution (shared by both executors' children)
+# ----------------------------------------------------------------------
+
+
+def _attempt_message(
+    task: tuple, plan: FaultPlan | None, workload: str, attempt: int
+) -> tuple:
+    """Run one unit attempt; return the wire message, never raise.
+
+    Applies the fault plan's Plane-2 chaos scripting exactly as the PR 3
+    spawn path did: a scripted ``crash`` is an ``os._exit`` inside the
+    proxy and never returns (the parent sees the pipe close with no
+    message, like a real segfault), ``hang`` sleeps past the harness
+    deadline, ``corrupt`` mangles the payload for parent-side validation
+    to catch, ``raise`` surfaces as a deterministic error message.
+    """
+    try:
+        if plan is not None and plan.has_chaos():
+            proxy = ChaosWorkerProxy(plan, workload, attempt)
+            result = proxy(lambda: _workload_task(task))
+        else:
+            result = _workload_task(task)
+        return ("ok", result)
+    except ParallelWorkerError as exc:
+        return ("error", exc.exc_type, exc.detail)
+    except BaseException as exc:  # noqa: BLE001 -- must not die silently
+        return ("error", type(exc).__name__, traceback.format_exc())
+
+
+def _pool_worker_main(conn) -> None:
+    """Warm worker request loop: serve unit attempts until told to stop.
+
+    State deliberately persists across requests -- the process-wide trace
+    cache, memoised warm-L2 images, and imported modules are the warmth
+    the pool exists to amortise.  The loop exits on a ``stop`` request or
+    when the parent end of the pipe disappears.
+    """
+    # A warm worker lives for the whole sweep with a large inherited heap
+    # (modules, traces, materialised record views).  Freeze it out of the
+    # cyclic collector: per-unit garbage still dies young, but full
+    # collections stop rescanning -- and COW-unsharing -- objects that
+    # live until exit anyway.
+    gc.freeze()
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            if (
+                not isinstance(request, tuple)
+                or not request
+                or request[0] != "run"
+            ):
+                break
+            _tag, task, workload, attempt, plan = request
+            conn.send(_attempt_message(task, plan, workload, attempt))
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _spawn_entry(
+    conn, task: tuple, plan: FaultPlan | None, workload: str, attempt: int
+) -> None:
+    """One-shot child entry for :class:`SpawnExecutor` (PR 3 semantics)."""
+    try:
+        conn.send(_attempt_message(task, plan, workload, attempt))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+
+
+class WorkerPool:
+    """Persistent warm-worker executor.
+
+    Workers are forked lazily (the first ``jobs`` concurrent attempts
+    each fork one) and reused for every later attempt.  ``finish`` on a
+    cleanly-reporting worker returns it to the idle list; a worker that
+    died mid-attempt (crash) or was :meth:`abort`-ed (hang) is reaped and
+    counted in ``workers_recycled`` -- its replacement forks lazily on
+    the next ``start``, so recycling costs one spawn, not a pool
+    rebuild.
+    """
+
+    def __init__(self, jobs: int, mp_context=None) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        self._ctx = mp_context if mp_context is not None else multiprocessing
+        self._jobs = jobs
+        self._idle: list[tuple[Any, Any]] = []  # (conn, process)
+        self._busy: dict[Any, Any] = {}  # conn -> process
+        self._closed = False
+        self.workers_spawned = 0
+        self.workers_recycled = 0
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self) -> tuple[Any, Any]:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self.workers_spawned += 1
+        get_default_registry().counter("sweep_pool.spawned").inc()
+        return parent_conn, proc
+
+    def _reap(self, conn, proc) -> None:
+        """Discard a dead or condemned worker."""
+        try:
+            proc.join(timeout=1.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.workers_recycled += 1
+        get_default_registry().counter("sweep_pool.recycled").inc()
+
+    # -- executor protocol ---------------------------------------------
+
+    def start(
+        self, task: tuple, workload: str, attempt: int, plan: FaultPlan | None
+    ):
+        """Dispatch one attempt to a warm (or freshly forked) worker.
+
+        Returns the pollable connection the attempt will report on.
+        """
+        request = ("run", task, workload, attempt, plan)
+        while True:
+            if self._idle:
+                conn, proc = self._idle.pop()
+            else:
+                conn, proc = self._spawn()
+            try:
+                conn.send(request)
+            except (BrokenPipeError, OSError):
+                # The idle worker died while parked; recycle and retry
+                # with another (ultimately a fresh fork, which cannot
+                # have a broken pipe at send time).
+                self._reap(conn, proc)
+                continue
+            self._busy[conn] = proc
+            return conn
+
+    def finish(self, conn) -> tuple[Any, int | None]:
+        """Collect an attempt's ``(message, exitcode)``.
+
+        ``message is None`` means the worker died without reporting (it
+        is reaped and counted recycled; ``exitcode`` carries its status).
+        Otherwise the worker goes back to the idle list, still warm.
+        """
+        proc = self._busy.pop(conn)
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        if message is None:
+            self._reap(conn, proc)
+            return None, proc.exitcode
+        self._idle.append((conn, proc))
+        return message, None
+
+    def abort(self, conn) -> None:
+        """Terminate a (presumed hung) attempt; the worker is recycled."""
+        proc = self._busy.pop(conn)
+        proc.terminate()
+        self._reap(conn, proc)
+
+    def close(self) -> None:
+        """Stop idle workers gracefully, kill busy ones, drop all pipes."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn, proc in self._idle:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._idle.clear()
+        for conn, proc in self._busy.items():
+            proc.terminate()
+            proc.join()
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._busy.clear()
+
+
+class SpawnExecutor:
+    """PR 3 semantics: one freshly spawned process per attempt.
+
+    Kept behind the executor protocol as the cold-start reference the
+    throughput benchmark compares against, and as a fallback engine
+    (``resilient_sweep(..., use_pool=False)``).
+    """
+
+    def __init__(self, mp_context=None) -> None:
+        self._ctx = mp_context if mp_context is not None else multiprocessing
+        self._busy: dict[Any, Any] = {}
+        self.workers_spawned = 0
+        self.workers_recycled = 0
+
+    def start(
+        self, task: tuple, workload: str, attempt: int, plan: FaultPlan | None
+    ):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_spawn_entry,
+            args=(child_conn, task, plan, workload, attempt),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self.workers_spawned += 1
+        self._busy[parent_conn] = proc
+        return parent_conn
+
+    def finish(self, conn) -> tuple[Any, int | None]:
+        proc = self._busy.pop(conn)
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            message = None
+        conn.close()
+        proc.join()
+        return message, proc.exitcode
+
+    def abort(self, conn) -> None:
+        proc = self._busy.pop(conn)
+        proc.terminate()
+        proc.join()
+        conn.close()
+
+    def close(self) -> None:
+        for conn, proc in self._busy.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+        self._busy.clear()

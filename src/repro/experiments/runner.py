@@ -40,7 +40,23 @@ __all__ = [
     "aggregate",
     "comparison_from_dict",
     "comparison_to_dict",
+    "profiles_for",
 ]
+
+
+def profiles_for(config: SimConfig, workload: str):
+    """The benchmark profiles a workload name resolves to under ``config``.
+
+    Single-core configs take ``workload`` as a benchmark name/acronym;
+    dual-core configs take a Table 1 mix acronym whose member profiles
+    are returned in core order.  This is the single resolution point
+    shared by trace generation, the parallel sweep's preload planning,
+    and the result-cache fingerprint -- they must agree on which traces a
+    unit consumes.
+    """
+    if config.num_cores == 1:
+        return [get_profile(workload)]
+    return list(get_mix(workload).profiles)
 
 
 @dataclass(frozen=True)
@@ -249,17 +265,9 @@ class Runner:
         a Table 1 mix acronym (e.g. ``"GkNe"``) for dual-core configs.
         """
         budget = self.config.instructions_per_core
-        if self.config.num_cores == 1:
-            profile = get_profile(workload)
-            return [
-                _trace_cache.get_trace(
-                    profile, budget, self.seed, profiler=self.profiler
-                )
-            ]
-        mix = get_mix(workload)
         return [
             _trace_cache.get_trace(p, budget, self.seed, profiler=self.profiler)
-            for p in mix.profiles
+            for p in profiles_for(self.config, workload)
         ]
 
     # ------------------------------------------------------------------

@@ -62,7 +62,15 @@ from repro.obs.trace import (
 from repro.timing.core_model import CoreResult, CoreState
 from repro.workloads.trace import Trace
 
-__all__ = ["System", "SystemResult", "TECHNIQUES"]
+__all__ = ["SIM_ENGINE_VERSION", "System", "SystemResult", "TECHNIQUES"]
+
+#: Version of the simulation semantics, fingerprinted into the
+#: content-addressed sweep result cache.  Bump on ANY change that can
+#: alter a ``SystemResult`` for identical inputs (timing, energy,
+#: refresh, replacement, fault injection, trace generation) so stale
+#: cached sweep units can never masquerade as current results.  Purely
+#: structural refactors that are bit-for-bit neutral may keep it.
+SIM_ENGINE_VERSION = 4
 
 #: Techniques the runner understands.
 TECHNIQUES: tuple[str, ...] = (

@@ -11,13 +11,28 @@ between.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Any
 
-__all__ = ["atomic_write", "atomic_write_json"]
+__all__ = ["atomic_write", "atomic_write_json", "stable_fingerprint"]
+
+
+def stable_fingerprint(payload: Any, length: int = 16) -> str:
+    """Hex SHA-256 prefix of a canonically serialised JSON-able payload.
+
+    Canonical form is ``json.dumps(payload, sort_keys=True, default=str)``
+    -- dict ordering never matters, floats print shortest-round-trip, and
+    non-JSON leaves (paths, enums) degrade deterministically via ``str``.
+    Both the sweep checkpoint fingerprint and the content-addressed
+    result-cache key are built on this, so the two can never drift apart
+    in how they canonicalise the same inputs.
+    """
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:length]
 
 
 def atomic_write(

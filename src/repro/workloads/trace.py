@@ -16,6 +16,15 @@ scalar extraction costs more per element than list indexing), so
 :meth:`Trace.columns` materialises list views once per trace and caches
 them -- every :class:`TraceCursor` and every technique run over the same
 trace shares that single materialisation.
+
+For the warm-worker sweep pool, :meth:`Trace.to_shm` exports the columns
+into one named ``multiprocessing.shared_memory`` segment and
+:meth:`Trace.from_shm` reattaches them as zero-copy read-only views, so a
+multi-million-record trace crosses the process boundary as a ~100-byte
+:class:`TraceShmHandle` instead of a pickled copy of the arrays.  Segment
+lifetime is owned by the *creating* process (see
+:class:`repro.experiments.pool.SharedTraceStore`); attachers never
+unlink.
 """
 
 from __future__ import annotations
@@ -27,7 +36,55 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["Trace", "TraceCorruptionError", "TraceCursor"]
+__all__ = ["Trace", "TraceCorruptionError", "TraceCursor", "TraceShmHandle"]
+
+
+@dataclass(frozen=True)
+class TraceShmHandle:
+    """Picklable descriptor of a trace exported to shared memory.
+
+    Carries the segment name plus the scalar metadata needed to rebuild
+    the :class:`Trace` on the attaching side; the columns themselves stay
+    in the named segment and are never copied through the pickle path.
+    """
+
+    segment: str
+    n_records: int
+    name: str
+    base_cpi: float
+    mem_mlp: float
+    footprint_lines: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes held by the segment (two int64 + one bool column)."""
+        return 17 * self.n_records
+
+
+def _attach_shm(segment: str):
+    """Attach to an existing shared-memory segment without adopting its
+    lifetime.
+
+    On Python < 3.13 plain attachment also registers the segment with the
+    process's resource tracker, which would unlink it when *this* process
+    exits -- destroying it for the creator and every sibling.  The
+    ``track=False`` keyword (3.13+) is the sanctioned fix; older versions
+    need the explicit unregister.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=segment, track=False)
+    except TypeError:
+        pass
+    shm = shared_memory.SharedMemory(name=segment)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm
 
 
 class TraceCorruptionError(ValueError):
@@ -177,13 +234,76 @@ class Trace:
 
     def __getstate__(self) -> dict:
         # Ship only the compact NumPy columns; the cached list
-        # materialisation is rebuilt lazily on the receiving side.
+        # materialisation is rebuilt lazily on the receiving side.  A
+        # shared-memory anchor is process-local (the arrays pickle as
+        # ordinary copies), so it never rides along.
         state = dict(self.__dict__)
         state["_instructions"] = None
         state["_columns"] = None
         state["_records"] = {}
         state["_retire_records"] = {}
+        state.pop("_shm", None)
         return state
+
+    # ------------------------------------------------------------------
+    # Shared-memory export (zero-copy distribution to sweep workers)
+    # ------------------------------------------------------------------
+
+    def to_shm(self, name: str | None = None):
+        """Export the columns into one named shared-memory segment.
+
+        Returns ``(shm, handle)``: the live ``SharedMemory`` object (the
+        caller owns it -- ``close()`` + ``unlink()`` when every consumer
+        is done) and the picklable :class:`TraceShmHandle` to ship to
+        attaching processes.  Layout is ``addrs | gaps | writes`` so both
+        int64 columns stay 8-byte aligned.
+        """
+        from multiprocessing import shared_memory
+
+        n = len(self.addrs)
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, 17 * n), name=name
+        )
+        np.ndarray((n,), np.int64, buffer=shm.buf)[:] = self.addrs
+        np.ndarray((n,), np.int64, buffer=shm.buf, offset=8 * n)[:] = self.gaps
+        np.ndarray((n,), np.bool_, buffer=shm.buf, offset=16 * n)[:] = self.writes
+        handle = TraceShmHandle(
+            segment=shm.name,
+            n_records=n,
+            name=self.name,
+            base_cpi=self.base_cpi,
+            mem_mlp=self.mem_mlp,
+            footprint_lines=self.footprint_lines,
+        )
+        return shm, handle
+
+    @classmethod
+    def from_shm(cls, handle: TraceShmHandle) -> "Trace":
+        """Rebuild a trace as zero-copy views over a shared segment.
+
+        The columns are read-only NumPy views backed directly by the
+        segment's buffer (no copy at any size); the attachment is held on
+        the returned trace so the mapping outlives the views.  The
+        creating process remains responsible for unlinking the segment.
+        """
+        shm = _attach_shm(handle.segment)
+        n = handle.n_records
+        addrs = np.ndarray((n,), np.int64, buffer=shm.buf)
+        gaps = np.ndarray((n,), np.int64, buffer=shm.buf, offset=8 * n)
+        writes = np.ndarray((n,), np.bool_, buffer=shm.buf, offset=16 * n)
+        for arr in (addrs, gaps, writes):
+            arr.flags.writeable = False
+        trace = cls(
+            name=handle.name,
+            addrs=addrs,
+            writes=writes,
+            gaps=gaps,
+            base_cpi=handle.base_cpi,
+            mem_mlp=handle.mem_mlp,
+            footprint_lines=handle.footprint_lines,
+        )
+        trace._shm = shm
+        return trace
 
     # ------------------------------------------------------------------
     # Serialisation

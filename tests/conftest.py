@@ -13,6 +13,19 @@ from repro.config import (
 )
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path_factory, monkeypatch):
+    """Point the sweep result cache at a per-test temp dir.
+
+    Keeps tests hermetic: nothing reads or writes the developer's
+    ``~/.cache/repro/results``, and no test can be satisfied by an entry
+    another test (or an earlier run) stored.
+    """
+    monkeypatch.setenv(
+        "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("result-cache"))
+    )
+
+
 @pytest.fixture
 def tiny_geometry() -> CacheGeometry:
     """64 sets x 4 ways x 64 B lines = 16 KB."""

@@ -1,0 +1,144 @@
+"""Shared-memory trace transport: round-trip, zero-copy, lifecycle."""
+
+import multiprocessing
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.workloads.profiles import get_profile
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import Trace, TraceShmHandle
+
+
+def make_trace() -> Trace:
+    return generate_trace(get_profile("gamess"), 200_000, seed=0)
+
+
+class TestRoundTrip:
+    def test_columns_and_metadata_survive(self):
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            assert np.array_equal(clone.addrs, trace.addrs)
+            assert np.array_equal(clone.writes, trace.writes)
+            assert np.array_equal(clone.gaps, trace.gaps)
+            assert clone.name == trace.name
+            assert clone.base_cpi == trace.base_cpi
+            assert clone.mem_mlp == trace.mem_mlp
+            assert clone.footprint_lines == trace.footprint_lines
+            assert clone.instructions == trace.instructions
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_empty_trace_round_trips(self):
+        shm, handle = Trace(name="empty").to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            assert len(clone) == 0
+            assert handle.nbytes == 0
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_scalar_hot_loop_views_match(self):
+        # columns()/records_list() are the simulation's actual view; they
+        # must materialise identically from a shm-backed trace.
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            assert clone.columns() == trace.columns()
+            assert clone.records_list(0)[:100] == trace.records_list(0)[:100]
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+class TestZeroCopy:
+    def test_views_do_not_own_their_data(self):
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            for arr in (clone.addrs, clone.writes, clone.gaps):
+                assert not arr.flags.owndata
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_views_are_read_only(self):
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            with pytest.raises(ValueError):
+                clone.addrs[0] = 1
+            with pytest.raises(ValueError):
+                clone.writes[0] = True
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_handle_is_small_and_picklable(self):
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            payload = pickle.dumps(handle)
+            # The whole point: a multi-KB/MB trace ships as a tiny
+            # descriptor, not as a copy of its columns.
+            assert len(payload) < 512
+            assert handle.nbytes == 17 * len(trace)
+            assert pickle.loads(payload) == handle
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_pickling_shm_backed_trace_copies_and_drops_anchor(self):
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            clone = Trace.from_shm(handle)
+            revived = pickle.loads(pickle.dumps(clone))
+        finally:
+            shm.close()
+            shm.unlink()
+        # The revived trace must be a plain heap copy, alive after the
+        # segment is gone, with no shared-memory anchor riding along.
+        assert not hasattr(revived, "_shm")
+        assert np.array_equal(revived.addrs, trace.addrs)
+        assert int(revived.gaps.sum()) == int(trace.gaps.sum())
+
+
+def _attach_and_report(handle: TraceShmHandle, queue) -> None:
+    from repro.workloads.trace import Trace
+
+    clone = Trace.from_shm(handle)
+    queue.put((int(clone.addrs.sum()), int(clone.gaps.sum())))
+
+
+class TestCrossProcess:
+    def test_spawned_child_attaches_without_adopting_lifetime(self):
+        # A spawn-context child shares nothing with us, so this exercises
+        # the real attach path (fork children usually inherit the trace
+        # cache instead).  Crucially, the child's *exit* must not unlink
+        # the segment (the Python <3.13 resource-tracker trap).
+        trace = make_trace()
+        shm, handle = trace.to_shm()
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            queue = ctx.Queue()
+            child = ctx.Process(target=_attach_and_report, args=(handle, queue))
+            child.start()
+            sums = queue.get(timeout=120)
+            child.join(timeout=30)
+            assert child.exitcode == 0
+            assert sums == (int(trace.addrs.sum()), int(trace.gaps.sum()))
+            # Re-attach after the child died: the segment must survive.
+            again = Trace.from_shm(handle)
+            assert np.array_equal(again.addrs, trace.addrs)
+        finally:
+            shm.close()
+            shm.unlink()
