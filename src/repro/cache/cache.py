@@ -24,6 +24,9 @@ hit path costs one dict probe instead of a linear ``tags.index`` scan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
+
+import numpy as np
 
 from repro.cache.block import LineState
 from repro.cache.cacheset import CacheSet
@@ -301,6 +304,116 @@ class SetAssociativeCache:
 
     def leader_sets(self) -> list[int]:
         return [c.index for c in self.sets if c.is_leader]
+
+    # ------------------------------------------------------------------
+    # Bulk tag/recency export-import (batch classification kernel)
+    # ------------------------------------------------------------------
+
+    def export_batch_state(self, set_indices) -> tuple:
+        """Snapshot per-set tag/recency/dirty state as dense matrices.
+
+        Parameters
+        ----------
+        set_indices:
+            int64 array of distinct set indices (ascending), typically the
+            sets touched by one classification batch.
+
+        Returns
+        -------
+        tuple
+            ``(tags_mat, ts0_mat, dirty_mat)``, each of shape
+            ``(len(set_indices), associativity)``:
+
+            * ``tags_mat`` -- stored line addresses, ``-1`` for invalid
+              ways (see :meth:`CacheSet.tags_row
+              <repro.cache.cacheset.CacheSet.tags_row>`);
+            * ``ts0_mat`` -- synthetic last-access timestamps encoding the
+              current recency order: way at recency position ``p`` gets
+              ``-(1 + p)``, so MRU is the largest and every value is
+              distinct.  Real (non-negative) record indices written over
+              these preserve relative order under an ``argsort``;
+            * ``dirty_mat`` -- the dirty bits (a copy; the kernel tracks
+              eviction-time dirtiness without touching live state).
+
+        Raises ``AssertionError`` if the tag matrix disagrees with the
+        ``LineState.valid`` mirror -- the kernel classifies against this
+        export, so a desync here must fail loudly, not corrupt results.
+        """
+        sets = self.sets
+        a = self.associativity
+        rows = np.asarray(set_indices, dtype=np.int64)
+        t_count = rows.shape[0]
+        touched = [sets[s] for s in rows.tolist()]
+        # Tag matrix from the per-set tag maps: one C-level fromiter pass
+        # over chained dict iterators instead of a Python list per set.
+        n_res = np.fromiter(
+            (len(c.tag_map) for c in touched), np.int64, count=t_count
+        )
+        total = int(n_res.sum())
+        res_tags = np.fromiter(
+            chain.from_iterable(c.tag_map for c in touched),
+            np.int64,
+            count=total,
+        )
+        res_ways = np.fromiter(
+            chain.from_iterable(c.tag_map.values() for c in touched),
+            np.int64,
+            count=total,
+        )
+        tags_mat = np.full((t_count, a), -1, dtype=np.int64)
+        tags_mat[np.repeat(np.arange(t_count), n_res), res_ways] = res_tags
+        # Recency seeds from the order lists, same single-pass trick.
+        order_mat = np.fromiter(
+            chain.from_iterable(c.order for c in touched),
+            np.int64,
+            count=t_count * a,
+        ).reshape(t_count, a)
+        ts0_mat = np.empty((t_count, a), dtype=np.int32)
+        np.put_along_axis(
+            ts0_mat,
+            order_mat,
+            -(1 + np.arange(a, dtype=np.int32))[None, :],
+            axis=1,
+        )
+        valid_mat = self.state.valid.reshape(self.num_sets, a)[rows]
+        if ((tags_mat != -1) != valid_mat).any():
+            raise AssertionError(
+                f"{self.name}: tag/valid mirror desync in batch export"
+            )
+        dirty_mat = self.state.dirty.reshape(self.num_sets, a)[rows].copy()
+        return tags_mat, ts0_mat, dirty_mat
+
+    def import_recency_orders(self, set_indices, order_mat) -> None:
+        """Install recency orders reconstructed by the batch kernel.
+
+        ``order_mat`` holds one way-permutation per row of
+        ``set_indices`` (most-recently-used first).  Every row is
+        validated as a permutation in one vectorised check before any set
+        is touched, so a bad reconstruction cannot half-apply.
+        """
+        a = self.associativity
+        order_mat = np.asarray(order_mat)
+        srt = np.sort(order_mat, axis=1)
+        if (srt != np.arange(a, dtype=order_mat.dtype)[None, :]).any():
+            bad = int(
+                (srt != np.arange(a, dtype=order_mat.dtype)[None, :])
+                .any(axis=1)
+                .argmax()
+            )
+            raise AssertionError(
+                f"{self.name}: imported recency row for set "
+                f"{int(np.asarray(set_indices)[bad])} is not a "
+                f"permutation of {a} ways"
+            )
+        sets = self.sets
+        rows = order_mat.tolist()
+        for s, row in zip(
+            set_indices.tolist()
+            if hasattr(set_indices, "tolist")
+            else list(set_indices),
+            rows,
+        ):
+            sets[s].order = row
 
     # ------------------------------------------------------------------
     # Warm-image snapshot / restore (fast construction path)

@@ -128,6 +128,34 @@ class CacheSet:
         """Tags of all valid lines (test helper)."""
         return [t for t in self.tags if t is not None]
 
+    # ------------------------------------------------------------------
+    # Bulk export / import (batch classification kernel)
+    # ------------------------------------------------------------------
+
+    def tags_row(self, sentinel: int = -1) -> list[int]:
+        """The ``tags`` list with ``None`` mapped to ``sentinel``.
+
+        Line addresses are non-negative, so a negative sentinel is
+        unambiguous; the batch kernel stacks these rows into the int64
+        tag matrix it classifies against.
+        """
+        return [sentinel if t is None else t for t in self.tags]
+
+    def set_order_checked(self, order: list[int]) -> None:
+        """Replace the recency order after validating it is a permutation.
+
+        The batch kernel reconstructs recency orders from its timestamp
+        matrix at buffer retirement; a malformed row here would silently
+        corrupt every later victim choice, so reject anything that is not
+        a permutation of the way indices.
+        """
+        if sorted(order) != list(range(len(self.tags))):
+            raise AssertionError(
+                f"set {self.index}: imported recency order {order!r} is "
+                f"not a permutation of {len(self.tags)} ways"
+            )
+        self.order = order
+
     def check_invariants(self, state: LineState) -> None:
         """Raise AssertionError when internal state is inconsistent."""
         a = len(self.tags)

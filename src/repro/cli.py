@@ -10,6 +10,7 @@ Subcommands::
     repro overhead --sets 4096 --ways 16 --modules 16   # Eq. 1
     repro trace -w h264ref -t esteem --format jsonl     # event trace dump
     repro sweep -w gamess,povray --resume --inject PLAN.json  # resilient sweep
+    repro bench -v                      # throughput bench + regression gate
 
 All experiment subcommands accept ``--instructions`` (trace scale),
 ``--retention`` (us), and the ESTEEM knobs (``--alpha``, ``--a-min``,
@@ -481,6 +482,84 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the end-to-end throughput bench and gate locally.
+
+    Same measurement and gates as ``benchmarks/check_throughput.py`` (and
+    the CI bench-smoke job): per-technique batch/scalar/reference timings
+    with the batch-kernel >= 1.3x floor.  Exit status 0 on pass, 1 on
+    regression, 0 with a note when no baseline is recorded.
+    """
+    import json
+
+    from repro.experiments.throughput import (
+        BASELINE_PATH,
+        check,
+        make_record,
+        measure,
+    )
+
+    profiler = _make_profiler(args)
+
+    def on_row(technique, row):
+        if args.verbose and not args.quiet:
+            print(
+                f"bench: {technique}: batch {row['batch_seconds']:.3f}s, "
+                f"scalar {row['scalar_seconds']:.3f}s, reference "
+                f"{row['reference_seconds']:.3f}s "
+                f"({row['batch_speedup_vs_scalar']:.2f}x batch/scalar)",
+                file=sys.stderr,
+            )
+
+    kwargs = {}
+    if args.instructions is not None:
+        kwargs["instructions"] = args.instructions
+    if args.workload is not None:
+        kwargs["workload"] = args.workload
+    current = measure(
+        rounds=args.rounds, profiler=profiler, on_row=on_row, **kwargs
+    )
+    rows = [
+        [t, row["minstr_per_s"], row["batch_speedup_vs_scalar"],
+         row["speedup_vs_reference"], row["kernel_batch_records"],
+         row["kernel_scalar_records"]]
+        for t, row in current["techniques"].items()
+    ]
+    print(format_table(
+        ["technique", "Minstr/s", "batch/scalar", "vs reference",
+         "batch recs", "scalar recs"],
+        rows,
+        title=(
+            f"throughput: {current['workload']}, "
+            f"{current['instructions']:,} instructions"
+        ),
+    ))
+    _finish_profile(profiler)
+
+    if args.update or not BASELINE_PATH.exists():
+        from repro.util import atomic_write_json
+
+        atomic_write_json(BASELINE_PATH, make_record(current))
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check(
+        current,
+        baseline["bench_end_to_end_simulation_rate"],
+        tolerance=args.tolerance,
+    )
+    if failures:
+        for f in failures:
+            print("REGRESSION:", f, file=sys.stderr)
+        return 1
+    print(
+        f"ok: batch kernel {current['best_batch_speedup_vs_scalar']:.2f}x "
+        f"over the scalar fast loop"
+    )
+    return 0
+
+
 def _cmd_overhead(args: argparse.Namespace) -> int:
     pct = counter_overhead_percent(args.sets, args.ways, args.modules)
     print(
@@ -636,6 +715,31 @@ def build_parser() -> argparse.ArgumentParser:
     # machine instead of 1 (None -> os.cpu_count() in resilient_sweep).
     swp.set_defaults(jobs=None)
 
+    ben = sub.add_parser(
+        "bench",
+        help="run the end-to-end throughput bench and regression gate",
+    )
+    ben.add_argument("--update", action="store_true",
+                     help="record the measurement as the new baseline "
+                          "(BENCH_throughput.json)")
+    ben.add_argument("--tolerance", type=float, default=0.25,
+                     help="allowed fractional regression in absolute rate "
+                          "(default 0.25)")
+    ben.add_argument("--rounds", type=int, default=3,
+                     help="timing rounds per path (best-of, default 3)")
+    ben.add_argument("--instructions", type=int, default=None,
+                     help="trace scale (default: the bench module's "
+                          "recorded scale; smaller runs understate the "
+                          "batch kernel)")
+    ben.add_argument("-w", "--workload", default=None,
+                     help="bench workload (default: the recorded one)")
+    ben.add_argument("--profile", action="store_true",
+                     help="print a wall/CPU-time span report on stderr")
+    ben.add_argument("-v", "--verbose", action="count", default=0,
+                     help="per-technique progress lines on stderr")
+    ben.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress stderr progress output")
+
     ovh = sub.add_parser("overhead", help="evaluate Eq. 1 counter overhead")
     ovh.add_argument("--sets", type=int, default=4096)
     ovh.add_argument("--ways", type=int, default=16)
@@ -661,6 +765,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "run": _cmd_run,
         "figure": _cmd_figure,
         "table": _cmd_table,
+        "bench": _cmd_bench,
         "overhead": _cmd_overhead,
         "trace": _cmd_trace,
         "trace-stats": _cmd_trace_stats,

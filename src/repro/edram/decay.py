@@ -44,6 +44,9 @@ class CacheDecayRefresh(RefreshEngine):
     """
 
     name = "decay"
+    #: Decay invalidates idle lines at boundaries, changing later
+    #: hit/miss outcomes -- the batch kernel must never span one.
+    mutates_cache_state = True
 
     def __init__(
         self,

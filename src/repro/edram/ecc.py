@@ -76,6 +76,10 @@ class EccExtendedRefresh(RefreshEngine):
     """Refresh valid lines every ``extension_factor`` retention periods."""
 
     name = "ecc-extended"
+    #: Uncorrectable retention errors invalidate lines at boundaries,
+    #: changing later hit/miss outcomes -- the batch kernel must never
+    #: span one.
+    mutates_cache_state = True
 
     def __init__(
         self,

@@ -34,6 +34,9 @@ class RefrintPolyphaseDirty(RefreshEngine):
     """Polyphase refresh of dirty lines; eager invalidation of clean ones."""
 
     name = "rpd"
+    #: RPD drops clean lines at phase boundaries, changing later hit/miss
+    #: outcomes -- the batch kernel must never span one.
+    mutates_cache_state = True
 
     def __init__(
         self,

@@ -59,6 +59,7 @@ from repro.obs.trace import (
     Tracer,
     active_tracer,
 )
+from repro.timing.batch_kernel import MIN_BATCH_RECORDS, build_batch
 from repro.timing.core_model import CoreResult, CoreState
 from repro.workloads.trace import Trace
 
@@ -172,6 +173,7 @@ class System:
         profiler: Profiler | None = None,
         reference_loop: bool = False,
         fault_plan: FaultPlan | None = None,
+        batch_kernel: bool = True,
     ) -> None:
         if technique not in TECHNIQUES:
             raise ValueError(f"unknown technique {technique!r}; use one of {TECHNIQUES}")
@@ -199,6 +201,17 @@ class System:
         #: reference loop instead of the chunked fast path.  The golden
         #: equivalence tests run both and assert identical results.
         self.reference_loop = reference_loop
+        #: When True (default), the single-core fast loop may classify
+        #: quiescent stretches in bulk with the batch kernel
+        #: (:mod:`repro.timing.batch_kernel`); False pins the scalar fast
+        #: loop (the throughput gate measures both).  Results are
+        #: bit-identical either way.
+        self.batch_kernel = batch_kernel
+        #: Kernel-selection counters: records serviced by the batch
+        #: commit loop vs the scalar fast loops this run.  Exported as
+        #: ``kernel.batch_records`` / ``kernel.scalar_records`` metrics.
+        self.kernel_batch_records = 0
+        self.kernel_scalar_records = 0
 
         self.l2, self.prefill_fraction = self._build_prefilled_l2()
         self.memory = MainMemory(config.memory)
@@ -480,6 +493,9 @@ class System:
             )
             core.retire(gap, latency)
             core.note_wrap_if_any()
+            # The batch kernel never runs here; counting every record as
+            # scalar keeps the kernel.* metrics comparable across loops.
+            self.kernel_scalar_records += 1
 
         return max(c.cycles for c in cores)
 
@@ -529,8 +545,24 @@ class System:
             )
             core.retire(gap, latency)
             core.note_wrap_if_any()
+            self.kernel_scalar_records += 1
 
         return max(c.cycles for c in cores)
+
+    def _retire_batch(self, kb, next_i: int) -> None:
+        """Write a batch buffer's deferred recency orders back to the sets.
+
+        ``next_i`` is the first uncommitted record index; only the prefix
+        the commit loop actually replayed is applied (classification ran
+        ahead of it, so a partial commit rebuilds timestamps from the
+        seeds -- see :meth:`BatchBuffer.recency_orders
+        <repro.timing.batch_kernel.BatchBuffer.recency_orders>`).
+        """
+        committed = next_i - kb.start
+        if committed <= 0:
+            return
+        set_rows, orders = kb.recency_orders(committed)
+        self.l2.import_recency_orders(set_rows, orders)
 
     def _run_fast_single(self, core: CoreState) -> float:
         """Fully inlined single-core event-horizon loop.
@@ -597,8 +629,53 @@ class System:
         # miscount residency from ``len(tag_map)``.
         drowsy_mode = cfg.esteem.gating_mode == "drowsy"
 
+        # --- batch-kernel eligibility (static half) --------------------
+        # The kernel precomputes hit/miss/victim/position for a stretch of
+        # records, which is only sound when nothing timing-dependent can
+        # change the outcome mid-stretch: the refresh engine must never
+        # mutate tags/valid/dirty/recency at boundaries, per-line write
+        # profiling must be off (it is only armed for offline fault-plan
+        # capture), and the core's address offset must be zero so the raw
+        # trace columns are the access stream.  The dynamic half (all ways
+        # active, full set mask) is re-checked before every batch build.
+        trace = cursor.trace
+        esteem = self.esteem
+        injector = self.fault_injector
+        use_kernel = (
+            self.batch_kernel
+            and not type(engine).mutates_cache_state
+            and write_counts is None
+            and core.addr_offset == 0
+        )
+        es_reconfig = (
+            esteem.reconfig if isinstance(esteem, EsteemController) else None
+        )
+        set_mask = l2.set_mask
+        leader_np = module_np = None
+        if use_kernel and profile_hist is not None:
+            leader_np = np.array([s.is_leader for s in sets], dtype=bool)
+            module_np = np.asarray(module_of_set, dtype=np.int64)
+        if use_kernel:
+            addrs_l, writes_l, _gaps_l = trace.columns()
+            gcpi_l = trace.gcpi_list(core.base_cpi)
+        kb = None
+        # Skew fallback: when a stretch is too set-skewed for the kernel,
+        # stay scalar through it instead of re-attempting a build every
+        # chunk over the same records.
+        kb_skip_until = -1
+        # Adaptive batch sizing: cycles-per-record estimate from the last
+        # committed batch (deterministic -- derived from simulated state
+        # only), used to size a batch to its limit cycle.
+        cpr_est = 0.0
+
         while wraps == 0:
             now = int(cycles)
+            if kb is not None and now >= kb.limit_cycle:
+                # A maintenance event that can mutate cache state (interval
+                # close / fault-injection boundary) is due: write the
+                # deferred recency orders back before it runs.
+                self._retire_batch(kb, i)
+                kb = None
             while now >= next_interval:
                 self._close_interval(next_interval)
                 next_interval += interval_cycles
@@ -642,7 +719,189 @@ class System:
             mm_reads = mm_reads0 = memory.reads
             mm_writes = mm_writes0 = memory.writes
             mm_qwait = memory.total_queue_wait
+            chunk_i0 = i
+            cyc0 = cycles
             brk = -1
+            # --- batch-kernel eligibility (dynamic half) + build -------
+            if (
+                kb is None
+                and use_kernel
+                and i >= kb_skip_until
+                and n_rec - i >= MIN_BATCH_RECORDS
+            ):
+                # Quiescent right now?  Full set mask live (selective-sets
+                # parked) and every module at full associativity (ESTEEM
+                # parked) -- then no gated way can exist, so hit/miss,
+                # victim, and recency outcomes are timing-independent
+                # until the next mutating maintenance event.
+                quiescent = l2.active_set_mask == set_mask and (
+                    es_reconfig is None
+                    or all(c == a for c in es_reconfig.current)
+                )
+                if quiescent:
+                    # The batch must be retired before the next event that
+                    # can mutate cache state: an interval close while a
+                    # controller is attached (reconfigure/flush), or a
+                    # refresh boundary while the fault injector is armed
+                    # (it latches flips only at boundaries, so injected
+                    # runs stay eligible between them).
+                    if esteem is not None and injector is not None:
+                        limit = next_interval if next_interval < nb else nb
+                    elif esteem is not None:
+                        limit = next_interval
+                    elif injector is not None:
+                        limit = nb
+                    else:
+                        limit = float("inf")
+                    if limit == float("inf"):
+                        end = n_rec
+                    else:
+                        # Size the batch to its limit cycle from the last
+                        # batch's cycles-per-record (deterministic: both
+                        # operands are simulated state), with headroom so
+                        # one build usually covers the whole stretch.
+                        if cpr_est <= 0.0:
+                            cpr_est = (
+                                gi_cum[n_rec - 1] / n_rec
+                            ) * core.base_cpi + lat_base + 1.0
+                        est = int((limit - now) / cpr_est * 1.25) + 64
+                        end = i + est if est < n_rec - i else n_rec
+                    kb = build_batch(
+                        l2, trace, i, end, limit, leader_np, module_np
+                    )
+                    if kb is None:
+                        # Too small or too set-skewed: stay scalar through
+                        # this stretch rather than re-probing every chunk.
+                        kb_skip_until = end
+            if kb is not None:
+                # --- batch commit loop ---------------------------------
+                # Replays the precomputed classification: per-hit work is
+                # one sign test, a dirty/last-window stamp, and the cycle
+                # add; misses keep the full scalar arithmetic (queue
+                # order, int(cycles) capture) so accounting stays
+                # bit-identical.  Recency promotion is the one deferred
+                # piece -- orders are rebuilt at retirement.
+                kstart = kb.start
+                kend = kb.end
+                g_l = kb.g_list
+                mdat = kb.miss_data
+                mi = kb.miss_ptr
+                for i in range(i, kend):
+                    if cycles >= next_chk:
+                        if cycles >= horizon:
+                            brk = i - 1
+                            break
+                        window = int(cycles) // phase_cycles
+                        window_end = (window + 1) * phase_cycles
+                        next_chk = (
+                            window_end if window_end < horizon else horizon
+                        )
+                    g = g_l[i - kstart]
+                    if g >= 0:
+                        # Classified hit on line ``g``.
+                        if writes_l[i]:
+                            dirty_mv[g] = True
+                        lw_mv[g] = window
+                        cycles = cycles + (gcpi_l[i] + lat_base)
+                    else:
+                        # Classified miss in set ``-1 - g``.
+                        cset = sets[-1 - g]
+                        g, victim, old_tag, wbf = mdat[mi]
+                        mi += 1
+                        tag_map = cset.tag_map
+                        addr = addrs_l[i]
+                        now = int(cycles)
+                        if old_tag >= 0:
+                            del tag_map[old_tag]
+                            if wbf:
+                                wbs += 1
+                                if mm_next_free > now:
+                                    mm_qwait += mm_next_free - now
+                                    mm_next_free += service_cycles
+                                else:
+                                    mm_next_free = now + service_cycles
+                                mm_writes += 1
+                        else:
+                            valid_mv[g] = True
+                        cset.tags[victim] = addr
+                        tag_map[addr] = victim
+                        dirty_mv[g] = writes_l[i]
+                        lw_mv[g] = window
+                        if mm_next_free > now:
+                            wait = mm_next_free - now
+                            mm_qwait += wait
+                            mm_next_free += service_cycles
+                            latency = lat_base + (mem_latency + wait) / mlp
+                        else:
+                            mm_next_free = now + service_cycles
+                            latency = lat_miss0
+                        mm_reads += 1
+                        cycles = cycles + (gcpi_l[i] + latency)
+                kb.miss_ptr = mi
+                # ``cp``: first uncommitted record (break leaves record
+                # ``i`` unprocessed; natural exhaustion commits through
+                # ``kend``).  The first record of a chunk can never break
+                # (the horizon is strictly ahead at chunk top), so
+                # ``cp > chunk_i0`` whenever any record existed.
+                cp = i if brk >= 0 else kend
+                c0 = chunk_i0 - kstart
+                c1 = cp - kstart
+                if c1 > c0:
+                    dh = int(kb.hits_cum[c1] - kb.hits_cum[c0])
+                    hits += dh
+                    misses += (c1 - c0) - dh
+                    ps = kb.pos_np[c0:c1]
+                    ps = ps[ps >= 0]
+                    if ps.size:
+                        for p, cnt in enumerate(
+                            np.bincount(ps, minlength=a).tolist()
+                        ):
+                            if cnt:
+                                hbp[p] += cnt
+                    if kb.pf_np is not None:
+                        pf = kb.pf_np[c0:c1]
+                        pf = pf[pf >= 0]
+                        if pf.size:
+                            folded = np.bincount(
+                                pf, minlength=len(profile_hist) * a
+                            ).tolist()
+                            fk = 0
+                            for mrow in profile_hist:
+                                for p in range(a):
+                                    cnt = folded[fk]
+                                    if cnt:
+                                        mrow[p] += cnt
+                                    fk += 1
+                    self.kernel_batch_records += c1 - c0
+                    cpr_est = (cycles - cyc0) / (cp - chunk_i0)
+                if cp >= kend:
+                    # Fully committed: write the recency orders back now.
+                    set_rows, orders = kb.recency_orders(kb.n)
+                    l2.import_recency_orders(set_rows, orders)
+                    kb = None
+                _flush_chunk_counters(
+                    stats, memory, hits, misses, wbs, dhits,
+                    mm_next_free, mm_reads, mm_reads0,
+                    mm_writes, mm_writes0, mm_qwait,
+                )
+                if brk >= 0:
+                    instructions = pass_base + gi_cum[brk]
+                    i = brk + 1
+                elif cp == n_rec:
+                    # Crossing on the final record wraps, exactly like the
+                    # scalar loop's exhausted-pass branch.
+                    instructions = pass_base + gi_cum[n_rec - 1]
+                    pass_base = instructions
+                    i = 0
+                    wraps += 1
+                else:
+                    # Batch exhausted mid-pass: account the committed
+                    # records and rebuild at the next chunk top (an extra
+                    # chunk boundary is observationally neutral -- no
+                    # maintenance can be due before the horizon).
+                    instructions = pass_base + gi_cum[cp - 1]
+                    i = cp
+                continue
             for i in range(i, n_rec):
                 addr, is_write, gcpi, _gi = recs[i]
                 if cycles >= next_chk:
@@ -780,17 +1039,14 @@ class System:
                 # parenthesised sum matches retire()'s evaluation order
                 # bit for bit.
                 cycles = cycles + (gcpi + latency)
-            stats.hits = hits
-            stats.misses = misses
-            stats.writebacks = wbs
-            stats.drowsy_hits = dhits
-            memory._next_free = mm_next_free
-            memory.reads = mm_reads
-            memory.writes = mm_writes
-            memory._delta_accesses += (
-                (mm_reads - mm_reads0) + (mm_writes - mm_writes0)
+            self.kernel_scalar_records += (
+                (brk + 1 - chunk_i0) if brk >= 0 else (n_rec - chunk_i0)
             )
-            memory.total_queue_wait = mm_qwait
+            _flush_chunk_counters(
+                stats, memory, hits, misses, wbs, dhits,
+                mm_next_free, mm_reads, mm_reads0,
+                mm_writes, mm_writes0, mm_qwait,
+            )
             if brk < 0:
                 # The for loop exhausted the pass: either no record
                 # crossed the horizon, or the crossing happened on the
@@ -805,6 +1061,10 @@ class System:
                 instructions = pass_base + gi_cum[brk]
                 i = brk + 1
 
+        if kb is not None:
+            # Unreachable today (a wrap always retires the batch first),
+            # but keeps the deferred-order invariant local to this method.
+            self._retire_batch(kb, i)
         cursor.index = i
         cursor.wraps = wraps
         core.cycles = cycles
@@ -858,6 +1118,8 @@ class System:
         mlp_ = [c.mem_mlp for c in cores]
         i_ = [c.cursor.index for c in cores]
         wraps_ = [c.cursor.wraps for c in cores]
+        i0_ = list(i_)
+        wraps0_ = list(wraps_)
         cycles_ = [c.cycles for c in cores]
         instr_ = [c.instructions for c in cores]
         fpc_ = [c.first_pass_cycles for c in cores]
@@ -1059,17 +1321,18 @@ class System:
                         ci = k
                 if best >= horizon:
                     break
-            stats.hits = hits
-            stats.misses = misses
-            stats.writebacks = wbs
-            stats.drowsy_hits = dhits
-            memory._next_free = mm_next_free
-            memory.reads = mm_reads
-            memory.writes = mm_writes
-            memory._delta_accesses += (
-                (mm_reads - mm_reads0) + (mm_writes - mm_writes0)
+            _flush_chunk_counters(
+                stats, memory, hits, misses, wbs, dhits,
+                mm_next_free, mm_reads, mm_reads0,
+                mm_writes, mm_writes0, mm_qwait,
             )
-            memory.total_queue_wait = mm_qwait
+
+        # Multi-core interleaving is cycle-dependent, so the batch kernel
+        # never engages here; every record counts as scalar-serviced.
+        self.kernel_scalar_records += sum(
+            (w - w0) * n + (j - j0)
+            for w, w0, j, j0, n in zip(wraps_, wraps0_, i_, i0_, n_)
+        )
 
         for core, i, wr, cyc, ins, fc, fi in zip(
             cores, i_, wraps_, cycles_, instr_, fpc_, fpi_
@@ -1115,6 +1378,10 @@ class System:
             m.counter("refresh.lines").inc(engine.total_refreshes)
             m.counter("mem.reads").inc(memory.reads)
             m.counter("mem.writes").inc(memory.writes)
+            m.counter("kernel.batch_records").inc(self.kernel_batch_records)
+            m.counter("kernel.scalar_records").inc(
+                self.kernel_scalar_records
+            )
 
         return SystemResult(
             technique=self.technique,
@@ -1264,3 +1531,37 @@ class System:
 
 def _core_cycles(core: CoreState) -> float:
     return core.cycles
+
+
+def _flush_chunk_counters(
+    stats,
+    memory,
+    hits: int,
+    misses: int,
+    wbs: int,
+    dhits: int,
+    mm_next_free: float,
+    mm_reads: int,
+    mm_reads0: int,
+    mm_writes: int,
+    mm_writes0: int,
+    mm_qwait: float,
+) -> None:
+    """Write a chunk's local counter mirrors back to their owners.
+
+    The fast loops (scalar single/multi and the batch-kernel commit loop)
+    mirror the cache stats and memory-channel counters into plain locals
+    for the duration of a chunk.  Every chunk exit routes through this one
+    helper *before* any maintenance code (interval close, refresh advance,
+    interval tracker) can read the counters, so the three paths cannot
+    drift on which counters get flushed.
+    """
+    stats.hits = hits
+    stats.misses = misses
+    stats.writebacks = wbs
+    stats.drowsy_hits = dhits
+    memory._next_free = mm_next_free
+    memory.reads = mm_reads
+    memory.writes = mm_writes
+    memory._delta_accesses += (mm_reads - mm_reads0) + (mm_writes - mm_writes0)
+    memory.total_queue_wait = mm_qwait

@@ -141,6 +141,9 @@ class Trace:
         self._columns: tuple[list, list, list] | None = None
         self._records: dict[int, list[tuple]] = {}
         self._retire_records: dict[tuple, tuple[list[tuple], list[int]]] = {}
+        self._set_index_columns: dict[int, np.ndarray] = {}
+        self._tag_columns: dict[int, np.ndarray] = {}
+        self._gcpi_lists: dict[float, list[float]] = {}
 
     def __len__(self) -> int:
         return len(self.addrs)
@@ -228,6 +231,51 @@ class Trace:
             cached = self._retire_records[key] = (recs, gi_cum)
         return cached
 
+    def set_index_column(self, set_mask: int) -> np.ndarray:
+        """Per-record cache set index (``addr & set_mask``) as a read-only
+        NumPy column, materialised once per mask.
+
+        This is the batch classification kernel's grouping key: the kernel
+        slices it per event-horizon chunk instead of re-deriving set
+        indices record by record.  Cached alongside the scalar record
+        caches (and invalidated with them on pickling), so shm-attached
+        traces re-derive it lazily on the attaching side rather than
+        shipping it through the segment.
+        """
+        col = self._set_index_columns.get(set_mask)
+        if col is None:
+            col = self.addrs & set_mask
+            col.flags.writeable = False
+            self._set_index_columns[set_mask] = col
+        return col
+
+    def tag_column(self, set_bits: int) -> np.ndarray:
+        """Per-record tag bits (``addr >> set_bits``), cached per shift.
+
+        Companion to :meth:`set_index_column` for consumers that key on
+        the tag alone (the batch kernel compares full line addresses, so
+        it only needs the set index; characterisation tooling uses this).
+        """
+        col = self._tag_columns.get(set_bits)
+        if col is None:
+            col = self.addrs >> set_bits
+            col.flags.writeable = False
+            self._tag_columns[set_bits] = col
+        return col
+
+    def gcpi_list(self, base_cpi: float) -> list[float]:
+        """Per-record base cycle cost ``(gap + 1) * base_cpi`` as a list.
+
+        The same values :meth:`retire_records` bakes into its tuples, as a
+        standalone column: the batch kernel's commit loop reads one float
+        per record instead of unpacking the four-tuple.  Cached per CPI.
+        """
+        col = self._gcpi_lists.get(base_cpi)
+        if col is None:
+            col = [(gap + 1) * base_cpi for gap in self.columns()[2]]
+            self._gcpi_lists[base_cpi] = col
+        return col
+
     # ------------------------------------------------------------------
     # Pickling (parallel sweep workers)
     # ------------------------------------------------------------------
@@ -242,6 +290,9 @@ class Trace:
         state["_columns"] = None
         state["_records"] = {}
         state["_retire_records"] = {}
+        state["_set_index_columns"] = {}
+        state["_tag_columns"] = {}
+        state["_gcpi_lists"] = {}
         state.pop("_shm", None)
         return state
 

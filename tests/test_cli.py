@@ -31,6 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_bench_parses_knobs(self):
+        args = build_parser().parse_args(
+            ["bench", "--update", "--rounds", "2", "--instructions",
+             "200000", "-w", "gamess", "-v"]
+        )
+        assert args.command == "bench"
+        assert args.update and args.rounds == 2
+        assert args.instructions == 200_000
+        assert args.workload == "gamess"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -173,6 +183,32 @@ class TestCommands:
         )
         assert code == 0
         assert capsys.readouterr().err == ""
+
+    def test_bench_update_writes_baseline(self, capsys, tmp_path, monkeypatch):
+        import repro.experiments.throughput as throughput
+
+        baseline = tmp_path / "BENCH_throughput.json"
+        monkeypatch.setattr(throughput, "BASELINE_PATH", baseline)
+        code = main(
+            ["bench", "--update", "--rounds", "1", "--instructions",
+             "200000", "-w", "sphinx", "--profile", "-v"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "throughput: sphinx" in captured.out
+        assert "batch/scalar" in captured.out
+        assert f"baseline written to {baseline}" in captured.out
+        assert "bench: baseline:" in captured.err  # -v progress
+        assert "bench:rpv:reference" in captured.err  # --profile spans
+        import json
+
+        record = json.loads(baseline.read_text())
+        rows = record["bench_end_to_end_simulation_rate"]["techniques"]
+        assert set(rows) == {"baseline", "rpv", "esteem"}
+        for row in rows.values():
+            assert row["batch_seconds"] > 0
+            assert row["scalar_seconds"] > 0
+            assert row["reference_seconds"] > 0
 
     def test_run_profile_reports_spans(self, capsys):
         code = main(

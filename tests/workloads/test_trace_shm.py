@@ -112,6 +112,55 @@ class TestZeroCopy:
         assert int(revived.gaps.sum()) == int(trace.gaps.sum())
 
 
+class TestDerivedColumnCaches:
+    """The batch kernel's precomputed columns (set index / tag / gcpi)
+    are per-process caches: they must re-derive lazily after transport
+    instead of shipping through pickles or shared-memory segments."""
+
+    def test_pickle_drops_and_rederives_columns(self):
+        trace = make_trace()
+        si = trace.set_index_column(0xFFF)
+        tg = trace.tag_column(12)
+        gc = trace.gcpi_list(1.25)
+        revived = pickle.loads(pickle.dumps(trace))
+        assert revived._set_index_columns == {}
+        assert revived._tag_columns == {}
+        assert revived._gcpi_lists == {}
+        assert np.array_equal(revived.set_index_column(0xFFF), si)
+        assert np.array_equal(revived.tag_column(12), tg)
+        assert revived.gcpi_list(1.25) == gc
+
+    def test_shm_round_trip_rederives_columns_lazily(self):
+        trace = make_trace()
+        expected = trace.set_index_column(0xFFF)
+        shm, handle = trace.to_shm()
+        try:
+            # The segment carries only the three raw columns -- a warm
+            # set-index cache on the exporting side must not grow it.
+            assert handle.nbytes == 17 * len(trace)
+            clone = Trace.from_shm(handle)
+            assert clone._set_index_columns == {}
+            assert clone._gcpi_lists == {}
+            col = clone.set_index_column(0xFFF)
+            assert np.array_equal(col, expected)
+            assert not col.flags.writeable
+            # Derived from the attached view, cached on the clone only.
+            assert 0xFFF in clone._set_index_columns
+            assert clone.gcpi_list(trace.base_cpi) == trace.gcpi_list(
+                trace.base_cpi
+            )
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_cached_columns_are_read_only(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.set_index_column(0xFFF)[0] = 1
+        with pytest.raises(ValueError):
+            trace.tag_column(12)[0] = 1
+
+
 def _attach_and_report(handle: TraceShmHandle, queue) -> None:
     from repro.workloads.trace import Trace
 
