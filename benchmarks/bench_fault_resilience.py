@@ -96,6 +96,30 @@ def run_scenario() -> dict:
         assert sorted(chaos_result.completed) == ["gamess", "h264ref"]
         assert chaos_result.retries >= 2, "crash and hang must each retry"
 
+        # Telemetry survival (ISSUE 6): successful units ship full
+        # snapshots, the timed-out attempt salvages a partial one over
+        # the SIGTERM flush, and the hard crash is recorded as lost --
+        # never silently absent from the manifest.
+        telem = chaos_result.telemetry
+        assert sorted(telem["per_unit"]) == ["gamess", "h264ref"]
+        assert telem["counters"]["sim.instructions"] > 0
+        assert telem["rollup"]["units_merged"] == 2
+        by_attempt = {
+            (t["workload"], t["attempt"]): t for t in chaos_result.timeline
+        }
+        assert by_attempt[("gamess", 1)]["telemetry"] == "lost", (
+            "a worker that dies via os._exit cannot flush telemetry"
+        )
+        assert by_attempt[("gamess", 2)]["telemetry"] == "ok"
+        hang_first = by_attempt[("h264ref", 1)]
+        assert hang_first["exc_type"] == "TimeoutError"
+        assert hang_first["telemetry"] == "partial", (
+            "the terminated worker's SIGTERM flush must salvage a "
+            "partial snapshot"
+        )
+        assert by_attempt[("h264ref", 2)]["telemetry"] == "ok"
+        assert chaos_result.failed[0].telemetry == "lost"
+
         # Survivors must be bit-for-bit identical to a clean sequential
         # run under the same Plane-1 hardware faults.
         clean = Runner(config, seed=SEED, fault_plan=CLEAN_PLAN)
@@ -152,6 +176,8 @@ def run_scenario() -> dict:
         "failed": [f.workload for f in chaos_result.failed],
         "resumed": sorted(resumed.resumed),
         "fault_events": n_fault_events,
+        "telemetry_units": sorted(chaos_result.telemetry["per_unit"]),
+        "salvaged_partial": hang_first["telemetry"],
     }
 
 

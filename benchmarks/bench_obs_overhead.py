@@ -9,6 +9,11 @@ pre-instrumentation numbers.  Two checks enforce that locally:
    executions x per-guard cost) must be < 2% of the run's wall time, and
 2. a run with *enabled* tracing+metrics must not be faster than the
    no-op run (sanity: the guards really are the cheap branch).
+
+The campaign-telemetry snapshot path (ISSUE 6) gets the same budget:
+``WorkerObs.snapshot`` ships each unit's counters home over the executor
+pipe, so it must cost < 2% of the unit it describes and must scale with
+the number of *instruments*, never with the number of simulated records.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import time
 
 from repro.config import SimConfig
 from repro.obs import MetricsRegistry, Tracer
+from repro.obs.campaign import WorkerObs
 from repro.timing.system import System
 from repro.workloads.profiles import get_profile
 from repro.workloads.synthetic import generate_trace
@@ -120,4 +126,63 @@ def bench_enabled_vs_noop_tracing(benchmark):
     assert noop_seconds <= enabled_seconds * 1.05, (
         f"no-op path ({noop_seconds:.3f}s) slower than enabled tracing "
         f"({enabled_seconds:.3f}s)"
+    )
+
+
+def _snapshot_seconds(obs: WorkerObs, iterations: int = 200) -> float:
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        obs.snapshot()
+    return (time.perf_counter() - t0) / iterations
+
+
+def bench_telemetry_snapshot_overhead(benchmark):
+    """WorkerObs.snapshot must cost < 2% of its unit and be O(#metrics).
+
+    Two gates:
+
+    1. one snapshot (what a worker pays per unit attempt) costs < 2% of
+       the metrics-enabled run it summarises, and
+    2. a snapshot after a full 1.5M-instruction run costs at most 5x a
+       snapshot of the same instrument set after a 30x smaller run --
+       i.e. the cost tracks the instrument table, not the record count
+       (the generous factor absorbs timer noise on a path measured in
+       microseconds).
+    """
+    big_trace = _trace()
+    small_cfg = SimConfig.scaled(instructions_per_core=50_000)
+    small_trace = generate_trace(
+        get_profile("sphinx"), small_cfg.instructions_per_core, seed=0
+    )
+
+    def run_with_obs(cfg, trace):
+        obs = WorkerObs()
+        with obs.technique_span("esteem"):
+            System(cfg, [trace], "esteem", metrics=obs.registry).run()
+        return obs
+
+    run_seconds, big_obs = _time_best_of(lambda: run_with_obs(_CFG, big_trace))
+    _, small_obs = _time_best_of(lambda: run_with_obs(small_cfg, small_trace))
+
+    big_snapshot_s = _snapshot_seconds(big_obs)
+    small_snapshot_s = _snapshot_seconds(small_obs)
+    overhead = big_snapshot_s / run_seconds
+
+    benchmark.extra_info["run_seconds"] = round(run_seconds, 4)
+    benchmark.extra_info["snapshot_us"] = round(big_snapshot_s * 1e6, 2)
+    benchmark.extra_info["snapshot_us_small_run"] = round(
+        small_snapshot_s * 1e6, 2
+    )
+    benchmark.extra_info["overhead_fraction"] = round(overhead, 6)
+    benchmark.pedantic(lambda: big_obs.snapshot(), rounds=3, iterations=100)
+
+    assert overhead < 0.02, (
+        f"telemetry snapshot costs {overhead:.2%} of the unit it describes "
+        f"({big_snapshot_s * 1e6:.0f} us vs {run_seconds:.3f}s run) -- "
+        f"must stay under 2%"
+    )
+    assert big_snapshot_s <= small_snapshot_s * 5 + 50e-6, (
+        f"snapshot cost grew with record count: {big_snapshot_s * 1e6:.0f} "
+        f"us after 1.5M instructions vs {small_snapshot_s * 1e6:.0f} us "
+        f"after 50k -- must be O(#instruments), not O(records)"
     )

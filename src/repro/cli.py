@@ -10,6 +10,7 @@ Subcommands::
     repro overhead --sets 4096 --ways 16 --modules 16   # Eq. 1
     repro trace -w h264ref -t esteem --format jsonl     # event trace dump
     repro sweep -w gamess,povray --resume --inject PLAN.json  # resilient sweep
+    repro report MANIFEST.json --check  # campaign report + regression gate
     repro bench -v                      # throughput bench + regression gate
 
 All experiment subcommands accept ``--instructions`` (trace scale),
@@ -397,6 +398,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     reported and checkpointed).
     """
     from repro.experiments.parallel import resilient_sweep
+    from repro.obs.campaign import CampaignDashboard
 
     config = _build_config(args)
     if args.resume and not args.checkpoint:
@@ -415,6 +417,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.workloads:
         workloads = args.workloads.split(",")
 
+    plan = _load_plan(args)
+    cache = _result_cache(args)
+    # The dashboard renders live on a TTY and degrades to the classic
+    # line-per-unit reporter when stderr is a pipe (CI logs stay diffable).
+    reporter = CampaignDashboard(0, label="sweep", enabled=not args.quiet)
     result = resilient_sweep(
         config,
         workloads,
@@ -426,9 +433,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backoff_s=args.backoff,
         checkpoint=args.checkpoint,
         resume=args.resume,
-        plan=_load_plan(args),
-        progress=not args.quiet,
-        cache=_result_cache(args),
+        plan=plan,
+        progress=reporter,
+        cache=cache,
+        trace_events=args.trace_events,
     )
 
     rows = []
@@ -456,9 +464,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         path = write_comparisons_csv(all_comps, args.csv)
         print(f"CSV written to {path}")
     if args.manifest:
+        from repro.experiments.report import build_manifest
         from repro.util import atomic_write_json
 
-        atomic_write_json(args.manifest, result.manifest())
+        manifest = build_manifest(
+            result, config, workloads, tuple(args.technique),
+            seed=args.seed, plan=plan, cache=cache,
+        )
+        atomic_write_json(args.manifest, manifest)
         print(f"manifest written to {args.manifest}")
     if result.degraded:
         print(
@@ -479,6 +492,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{result.attempts} attempt(s), {result.retries} retried",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a run manifest as markdown/CSV and optionally gate on it.
+
+    Exit status: 2 for an unreadable or schema-invalid manifest, 1 when
+    ``--check`` finds an internal inconsistency or a bench regression,
+    0 otherwise.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.experiments.report import (
+        check_consistency,
+        check_regressions,
+        render_csv,
+        render_markdown,
+        validate_manifest,
+    )
+
+    try:
+        manifest = json.loads(Path(args.manifest).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    schema_errors = validate_manifest(manifest)
+    if schema_errors:
+        for err in schema_errors:
+            print(f"error: schema: {err}", file=sys.stderr)
+        return 2
+
+    checks = None
+    consistency = None
+    if args.check:
+        consistency = check_consistency(manifest)
+
+        def load_baseline(path, default):
+            p = Path(path) if path else default
+            if not p.exists():
+                return None
+            return json.loads(p.read_text(encoding="utf-8"))
+
+        repo_root = Path(__file__).resolve().parents[2]
+        throughput = load_baseline(
+            args.bench_throughput, repo_root / "BENCH_throughput.json"
+        )
+        sweep = load_baseline(args.bench_sweep, repo_root / "BENCH_sweep.json")
+        checks = check_regressions(
+            manifest, throughput, sweep, tolerance=args.tolerance
+        )
+
+    if args.format == "csv":
+        text = render_csv(manifest)
+    else:
+        text = render_markdown(manifest, checks=checks,
+                               consistency=consistency)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        if not args.quiet:
+            print(f"report written to {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+
+    if args.check:
+        failures = list(consistency or [])
+        failures += checks[0]
+        for msg in consistency or []:
+            print(f"INCONSISTENT: {msg}", file=sys.stderr)
+        for msg in checks[0]:
+            print(f"REGRESSION: {msg}", file=sys.stderr)
+        if failures:
+            return 1
+        if not args.quiet:
+            skipped, passed = checks[1], checks[2]
+            print(
+                f"check ok: {len(passed)} passed, {len(skipped)} skipped",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -709,11 +802,46 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--csv", default=None,
                      help="write surviving comparisons as CSV")
     swp.add_argument("--manifest", default=None, metavar="FILE.json",
-                     help="write the completion/failure manifest as JSON")
+                     help="write the structured run manifest as JSON "
+                          "(input for `repro report`)")
+    swp.add_argument("--trace-events", type=int, default=0,
+                     dest="trace_events", metavar="N",
+                     help="per-worker event ring capacity; the tail of "
+                          "each unit's trace ships home in the manifest "
+                          "(default 0: metrics only, keeps the fast path)")
     _add_machine_args(swp)
     # Sweeps are the bulk workload: default the worker count to the
     # machine instead of 1 (None -> os.cpu_count() in resilient_sweep).
     swp.set_defaults(jobs=None)
+
+    rep = sub.add_parser(
+        "report",
+        help="render a sweep run manifest as markdown/CSV, with optional "
+             "consistency + bench-regression gating",
+    )
+    rep.add_argument("manifest", metavar="MANIFEST.json",
+                     help="run manifest written by `repro sweep --manifest`")
+    rep.add_argument("--format", choices=("md", "csv"), default="md",
+                     help="output format (default: md)")
+    rep.add_argument("--output", default=None,
+                     help="write the report to a file instead of stdout")
+    rep.add_argument("--check", action="store_true",
+                     help="verify internal consistency and compare rates "
+                          "against the committed BENCH baselines; exit 1 "
+                          "on failure")
+    rep.add_argument("--tolerance", type=float, default=0.10,
+                     help="allowed fractional rate regression for --check "
+                          "(default 0.10)")
+    rep.add_argument("--bench-throughput", default=None, metavar="FILE.json",
+                     dest="bench_throughput",
+                     help="throughput baseline (default: the repo's "
+                          "BENCH_throughput.json)")
+    rep.add_argument("--bench-sweep", default=None, metavar="FILE.json",
+                     dest="bench_sweep",
+                     help="sweep baseline (default: the repo's "
+                          "BENCH_sweep.json)")
+    rep.add_argument("-q", "--quiet", action="store_true",
+                     help="suppress stderr status output")
 
     ben = sub.add_parser(
         "bench",
@@ -770,6 +898,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "trace-stats": _cmd_trace_stats,
         "sweep": _cmd_sweep,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -51,6 +51,11 @@ from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.experiments.result_cache import ResultCache, unit_fingerprint
 from repro.experiments.runner import RunComparison, Runner, profiles_for
 from repro.faults.plan import FaultPlan
+from repro.obs.campaign import (
+    CampaignAggregator,
+    current_worker_obs,
+    telemetry_from_message,
+)
 from repro.obs.profile import Profiler, ProgressReporter
 from repro.workloads.trace import Trace, TraceShmHandle
 
@@ -150,12 +155,34 @@ def _workload_task(
             shipped = Trace.from_shm(shipped)
         _trace_cache.put(name, budget, trace_seed, shipped)
     profiler = Profiler()
+    # When the resilient harness installed a worker observation context
+    # (see repro.obs.campaign), the unit runs with a fresh per-attempt
+    # metrics registry and attributes its counters per technique -- the
+    # baseline run is attributed explicitly so technique deltas measure
+    # only their own simulation.  Without a context (parallel_compare's
+    # ProcessPoolExecutor path) behaviour is unchanged.
+    obs = current_worker_obs()
     try:
         with profiler.span(f"worker:{workload}") as span:
-            runner = Runner(config, seed=seed, fault_plan=fault_plan)
-            comparisons = [
-                runner.compare(workload, technique) for technique in techniques
-            ]
+            runner = Runner(
+                config,
+                seed=seed,
+                fault_plan=fault_plan,
+                metrics=obs.registry if obs is not None else None,
+                tracer=obs.tracer if obs is not None else None,
+            )
+            comparisons = []
+            if obs is not None:
+                with obs.technique_span("baseline"):
+                    runner.baseline(workload)
+                for technique in techniques:
+                    with obs.technique_span(technique):
+                        comparisons.append(runner.compare(workload, technique))
+            else:
+                comparisons = [
+                    runner.compare(workload, technique)
+                    for technique in techniques
+                ]
         return comparisons, span.wall_s
     except ParallelWorkerError:
         raise
@@ -318,12 +345,18 @@ def parallel_compare(
 
 @dataclass(frozen=True)
 class FailedWorkload:
-    """Manifest entry for a unit the sweep could not complete."""
+    """Manifest entry for a unit the sweep could not complete.
+
+    ``telemetry`` records how much observability survived the final
+    attempt: ``"partial"`` when the dying worker flushed a SIGTERM
+    snapshot, ``"lost"`` when it died mute (hard crash).
+    """
 
     workload: str
     attempts: int
     exc_type: str
     detail: str
+    telemetry: str = "lost"
 
 
 @dataclass
@@ -339,6 +372,14 @@ class SweepResult:
     ``workers_*`` counters describe the execution engine's process
     economy (a spawn-per-unit run spawns once per attempt; a pooled run
     spawns at most ``jobs`` plus one per crash/hang recycle).
+
+    Campaign telemetry: ``timeline`` holds one record per attempt (and
+    per cached/resumed unit) with wall-clock offsets relative to the
+    sweep start, so a report can reconstruct the retry/backoff history;
+    ``telemetry`` is the merged :class:`~repro.obs.campaign.
+    CampaignAggregator` state (campaign counter/histogram totals,
+    per-technique and per-unit rollups, and which units lost their
+    telemetry); ``wall_s`` is the whole sweep's wall time.
     """
 
     comparisons: dict[str, list[RunComparison]]
@@ -350,6 +391,9 @@ class SweepResult:
     cached: list[str] = field(default_factory=list)
     workers_spawned: int = 0
     workers_recycled: int = 0
+    wall_s: float = 0.0
+    timeline: list[dict[str, Any]] = field(default_factory=list)
+    telemetry: dict[str, Any] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
@@ -366,12 +410,16 @@ class SweepResult:
             "retries": self.retries,
             "workers_spawned": self.workers_spawned,
             "workers_recycled": self.workers_recycled,
+            "wall_s": self.wall_s,
+            "timeline": [dict(entry) for entry in self.timeline],
+            "telemetry": dict(self.telemetry),
             "failed": [
                 {
                     "workload": f.workload,
                     "attempts": f.attempts,
                     "exc_type": f.exc_type,
                     "detail": f.detail,
+                    "telemetry": f.telemetry,
                 }
                 for f in self.failed
             ],
@@ -390,6 +438,14 @@ class _Unit:
     attempt: int = 0  # attempts already consumed
     last_exc_type: str = ""
     last_detail: str = ""
+    last_telemetry: str = "lost"  # obs outcome of the latest attempt
+
+
+def _telemetry_status(telemetry: Any) -> str:
+    """Manifest label for an attempt's telemetry: ok / partial / lost."""
+    if telemetry is None:
+        return "lost"
+    return "partial" if telemetry.get("partial") else "ok"
 
 
 def _validate_unit_result(payload: Any) -> tuple[list[RunComparison], float] | None:
@@ -426,6 +482,7 @@ def resilient_sweep(
     progress: bool | ProgressReporter = False,
     cache: ResultCache | None = None,
     use_pool: bool = True,
+    trace_events: int = 0,
 ) -> SweepResult:
     """A :func:`parallel_compare` that survives hostile infrastructure.
 
@@ -464,6 +521,18 @@ def resilient_sweep(
     degrades: surviving units are returned, the lost unit lands in the
     :class:`SweepResult` ``failed`` manifest, and ``degraded`` flips
     True.  Callers decide whether partial results are acceptable.
+
+    Campaign telemetry: every worker attempt runs under a fresh
+    per-attempt metrics registry (plus a small tracer ring when
+    ``trace_events`` > 0) and ships its snapshot back with the wire
+    message -- including partial snapshots flushed on SIGTERM when the
+    harness aborts a hung attempt.  Snapshots of *successful* attempts
+    merge into the campaign totals (so the merged counters are exactly
+    the sum of the per-unit truths); failed attempts keep their
+    partial/lost status in the per-attempt ``timeline``.  Progress
+    reporters receive live aggregate fields through
+    ``reporter.status(...)`` (see
+    :class:`~repro.obs.campaign.CampaignDashboard`).
     """
     from repro.experiments.pool import (
         SharedTraceStore,
@@ -504,6 +573,36 @@ def resilient_sweep(
             len(workload_list), label="sweep", enabled=bool(progress)
         )
 
+    sweep_start = time.monotonic()
+
+    def rel_now() -> float:
+        return time.monotonic() - sweep_start
+
+    agg = CampaignAggregator()
+    timeline: list[dict[str, Any]] = []
+
+    def note(
+        workload: str,
+        attempt: int,
+        outcome: str,
+        exc_type: str,
+        start_s: float,
+        end_s: float,
+        telemetry_status: str,
+    ) -> None:
+        timeline.append(
+            {
+                "workload": workload,
+                "attempt": attempt,
+                "outcome": outcome,
+                "exc_type": exc_type,
+                "start_s": round(start_s, 6),
+                "end_s": round(end_s, 6),
+                "wall_s": round(end_s - start_s, 6),
+                "telemetry": telemetry_status,
+            }
+        )
+
     store = SharedTraceStore() if use_pool else None
     results: list[list[RunComparison] | None] = [None] * len(workload_list)
     resumed: list[str] = []
@@ -516,6 +615,7 @@ def resilient_sweep(
             }
             results[i] = [by_tech[t] for t in technique_tuple]
             resumed.append(w)
+            note(w, 0, "resumed", "", rel_now(), rel_now(), "none")
             reporter.advance(w, 0.0)
             continue
         unit_fp, hit = _cached_unit(
@@ -526,6 +626,7 @@ def resilient_sweep(
             cached.append(w)
             if ckpt is not None:
                 ckpt.record(hit)
+            note(w, 0, "cached", "", rel_now(), rel_now(), "none")
             reporter.advance(f"{w} (cached)", 0.0)
             continue
         preloaded: dict[Any, Any] = {}
@@ -559,11 +660,27 @@ def resilient_sweep(
     failed: list[FailedWorkload] = []
     total_attempts = 0
     total_retries = 0
-    executor = WorkerPool(jobs) if use_pool else SpawnExecutor()
-    # conn -> (unit, deadline | None)
-    running: dict[Any, tuple[_Unit, float | None]] = {}
+    obs_spec = {"trace_capacity": trace_events} if trace_events else {}
+    executor = (
+        WorkerPool(jobs, obs_spec=obs_spec)
+        if use_pool
+        else SpawnExecutor(obs_spec=obs_spec)
+    )
+    # conn -> (unit, deadline | None, started_at)
+    running: dict[Any, tuple[_Unit, float | None, float]] = {}
     # (ready_time, unit) entries waiting out their backoff.
     backing_off: list[tuple[float, _Unit]] = []
+
+    def push_status() -> None:
+        reporter.status(
+            running=len(running),
+            failed=len(failed),
+            retries=total_retries,
+            recycled=executor.workers_recycled,
+            cached=len(cached),
+            instructions=agg.counters.get("sim.instructions", 0.0),
+            cache_hit_pct=100.0 * len(cached) / len(workload_list),
+        )
 
     def settle(unit: _Unit) -> None:
         """Release the unit's shared segments once its fate is final."""
@@ -578,12 +695,14 @@ def resilient_sweep(
                 attempts=unit.attempt,
                 exc_type=exc_type,
                 detail=detail,
+                telemetry=unit.last_telemetry,
             )
         )
         settle(unit)
         reporter.advance(f"{unit.workload} (FAILED)", 0.0)
 
-    def dispose(unit: _Unit, exc_type: str, detail: str) -> None:
+    def dispose(unit: _Unit, exc_type: str, detail: str) -> str:
+        """Retry or abandon a failed attempt; returns the outcome."""
         nonlocal total_retries
         unit.last_exc_type = exc_type
         unit.last_detail = detail
@@ -592,8 +711,9 @@ def resilient_sweep(
             total_retries += 1
             delay = backoff_s * (2 ** (unit.attempt - 1)) if backoff_s else 0.0
             backing_off.append((time.monotonic() + delay, unit))
-        else:
-            abandon(unit, exc_type, detail)
+            return "retry"
+        abandon(unit, exc_type, detail)
+        return "failed"
 
     try:
         while units or backing_off or running:
@@ -614,7 +734,7 @@ def resilient_sweep(
                 unit.attempt += 1
                 total_attempts += 1
                 deadline = now + timeout_s if timeout_s is not None else None
-                running[conn] = (unit, deadline)
+                running[conn] = (unit, deadline, rel_now())
             if not running:
                 if backing_off:
                     sleep_until = min(t for t, _ in backing_off)
@@ -623,29 +743,40 @@ def resilient_sweep(
             # Block until a worker reports, dies, or a deadline/backoff
             # expiry needs attention.
             wait_timeout = None
-            deadlines = [d for _, d in running.values() if d is not None]
+            deadlines = [d for _, d, _s in running.values() if d is not None]
             wake_times = deadlines + [t for t, _ in backing_off]
             if wake_times:
                 wait_timeout = max(0.0, min(wake_times) - time.monotonic())
             ready = pipe_wait(list(running), timeout=wait_timeout)
             for conn in ready:
-                unit, _deadline = running.pop(conn)
+                unit, _deadline, started_s = running.pop(conn)
                 message, exitcode = executor.finish(conn)
+                telemetry = telemetry_from_message(message)
+                unit.last_telemetry = _telemetry_status(telemetry)
                 if message is None:
-                    dispose(
+                    outcome = dispose(
                         unit,
                         "WorkerCrash",
                         f"worker exited without a result "
                         f"(exitcode={exitcode})",
                     )
+                    note(
+                        unit.workload, unit.attempt, outcome, "WorkerCrash",
+                        started_s, rel_now(), unit.last_telemetry,
+                    )
                 elif message[0] == "ok":
                     validated = _validate_unit_result(message[1])
                     if validated is None:
-                        dispose(
+                        outcome = dispose(
                             unit,
                             "CorruptResult",
                             f"worker returned a malformed result: "
                             f"{type(message[1]).__name__}",
+                        )
+                        note(
+                            unit.workload, unit.attempt, outcome,
+                            "CorruptResult", started_s, rel_now(),
+                            unit.last_telemetry,
                         )
                     else:
                         comparisons, wall_s = validated
@@ -655,26 +786,47 @@ def resilient_sweep(
                             ckpt.record(comparisons)
                         if cache is not None and unit.fingerprint:
                             cache.put(unit.fingerprint, comparisons)
+                        # Only successful attempts feed the campaign
+                        # totals: merged counters stay the exact sum of
+                        # the units that produced results.
+                        agg.add_unit(unit.workload, telemetry)
+                        note(
+                            unit.workload, unit.attempt, "ok", "",
+                            started_s, rel_now(), unit.last_telemetry,
+                        )
                         reporter.advance(unit.workload, wall_s)
                 else:
-                    _tag, exc_type, detail = message
-                    dispose(unit, exc_type, detail)
+                    _tag, exc_type, detail, *_rest = message
+                    outcome = dispose(unit, exc_type, detail)
+                    note(
+                        unit.workload, unit.attempt, outcome, exc_type,
+                        started_s, rel_now(), unit.last_telemetry,
+                    )
             # Enforce wall-clock deadlines on whoever is still running.
             now = time.monotonic()
             overdue = [
                 conn
-                for conn, (_u, deadline) in running.items()
+                for conn, (_u, deadline, _s) in running.items()
                 if deadline is not None and now >= deadline
             ]
             for conn in overdue:
-                unit, _deadline = running.pop(conn)
-                executor.abort(conn)
-                dispose(
+                unit, _deadline, started_s = running.pop(conn)
+                # abort() SIGTERMs the worker and waits briefly for the
+                # partial telemetry snapshot its abort handler flushes.
+                salvage = executor.abort(conn)
+                telemetry = telemetry_from_message(salvage)
+                unit.last_telemetry = _telemetry_status(telemetry)
+                outcome = dispose(
                     unit,
                     "TimeoutError",
                     f"attempt exceeded the {timeout_s:g}s wall-clock "
                     f"timeout and was terminated",
                 )
+                note(
+                    unit.workload, unit.attempt, outcome, "TimeoutError",
+                    started_s, rel_now(), unit.last_telemetry,
+                )
+            push_status()
     finally:
         try:
             for conn in list(running):
@@ -703,4 +855,7 @@ def resilient_sweep(
         cached=cached,
         workers_spawned=executor.workers_spawned,
         workers_recycled=executor.workers_recycled,
+        wall_s=rel_now(),
+        timeline=timeline,
+        telemetry=agg.as_dict(),
     )

@@ -28,8 +28,11 @@ module keeps those costs amortised:
 Both executors speak the same protocol to the resilient harness:
 ``start()`` returns a pollable connection, ``finish()`` collects the
 attempt's message (``None`` means the worker died without reporting),
-``abort()`` terminates a hung attempt, ``close()`` tears everything
-down.  The harness's timeout/retry/checkpoint semantics live entirely in
+``abort()`` terminates a hung attempt -- waiting briefly for the
+SIGTERM-flushed partial telemetry message the worker's abort handler
+tries to send, and returning that salvage (or ``None``) -- and
+``close()`` tears everything down.  Wire messages carry a telemetry
+snapshot as their last element (see :mod:`repro.obs.campaign`).  The harness's timeout/retry/checkpoint semantics live entirely in
 :func:`repro.experiments.parallel.resilient_sweep` and are identical on
 either engine.
 """
@@ -44,6 +47,12 @@ from typing import Any
 from repro.experiments.parallel import ParallelWorkerError, _workload_task
 from repro.faults.chaos import ChaosWorkerProxy
 from repro.faults.plan import FaultPlan
+from repro.obs.campaign import (
+    WorkerAborted,
+    begin_worker_obs,
+    end_worker_obs,
+    install_sigterm_flush,
+)
 from repro.obs.metrics import get_default_registry
 from repro.workloads.trace import Trace
 
@@ -143,7 +152,11 @@ class SharedTraceStore:
 
 
 def _attempt_message(
-    task: tuple, plan: FaultPlan | None, workload: str, attempt: int
+    task: tuple,
+    plan: FaultPlan | None,
+    workload: str,
+    attempt: int,
+    obs_spec: dict | None = None,
 ) -> tuple:
     """Run one unit attempt; return the wire message, never raise.
 
@@ -153,18 +166,39 @@ def _attempt_message(
     message, like a real segfault), ``hang`` sleeps past the harness
     deadline, ``corrupt`` mangles the payload for parent-side validation
     to catch, ``raise`` surfaces as a deterministic error message.
+
+    Every message carries the attempt's telemetry snapshot as its last
+    element: ``("ok", payload, telemetry)`` on success, ``("error",
+    exc_type, detail, telemetry)`` on failure, and ``("aborted",
+    exc_type, detail, telemetry)`` when the harness SIGTERMed the
+    attempt mid-flight -- the snapshot is then flagged *partial* and
+    holds whatever the unit had flushed before dying.  Telemetry rides
+    outside the validated result payload, so a chaos-corrupted result
+    cannot corrupt its own telemetry.
     """
+    spec = obs_spec or {}
+    obs = begin_worker_obs(trace_capacity=int(spec.get("trace_capacity", 0)))
     try:
-        if plan is not None and plan.has_chaos():
-            proxy = ChaosWorkerProxy(plan, workload, attempt)
-            result = proxy(lambda: _workload_task(task))
-        else:
-            result = _workload_task(task)
-        return ("ok", result)
-    except ParallelWorkerError as exc:
-        return ("error", exc.exc_type, exc.detail)
-    except BaseException as exc:  # noqa: BLE001 -- must not die silently
-        return ("error", type(exc).__name__, traceback.format_exc())
+        try:
+            if plan is not None and plan.has_chaos():
+                proxy = ChaosWorkerProxy(plan, workload, attempt)
+                result = proxy(lambda: _workload_task(task))
+            else:
+                result = _workload_task(task)
+            return ("ok", result, obs.snapshot(partial=False))
+        except WorkerAborted as exc:
+            return ("aborted", "WorkerAborted", str(exc), obs.snapshot(partial=True))
+        except ParallelWorkerError as exc:
+            return ("error", exc.exc_type, exc.detail, obs.snapshot(partial=True))
+        except BaseException as exc:  # noqa: BLE001 -- must not die silently
+            return (
+                "error",
+                type(exc).__name__,
+                traceback.format_exc(),
+                obs.snapshot(partial=True),
+            )
+    finally:
+        end_worker_obs()
 
 
 def _pool_worker_main(conn) -> None:
@@ -181,11 +215,17 @@ def _pool_worker_main(conn) -> None:
     # collections stop rescanning -- and COW-unsharing -- objects that
     # live until exit anyway.
     gc.freeze()
+    # SIGTERM (the harness aborting a hung attempt) raises WorkerAborted
+    # so the in-flight attempt can flush a final partial telemetry
+    # snapshot instead of dying mute.
+    install_sigterm_flush()
     try:
         while True:
             try:
                 request = conn.recv()
             except (EOFError, OSError):
+                break
+            except WorkerAborted:
                 break
             if (
                 not isinstance(request, tuple)
@@ -193,8 +233,19 @@ def _pool_worker_main(conn) -> None:
                 or request[0] != "run"
             ):
                 break
-            _tag, task, workload, attempt, plan = request
-            conn.send(_attempt_message(task, plan, workload, attempt))
+            _tag, task, workload, attempt, plan, *rest = request
+            obs_spec = rest[0] if rest else None
+            message = _attempt_message(task, plan, workload, attempt, obs_spec)
+            try:
+                conn.send(message)
+            except (BrokenPipeError, OSError, WorkerAborted):
+                break
+            if message[0] == "aborted":
+                # The harness condemned this worker; exit promptly so the
+                # parent's reap join does not have to escalate.
+                break
+    except WorkerAborted:
+        pass
     finally:
         try:
             conn.close()
@@ -203,11 +254,19 @@ def _pool_worker_main(conn) -> None:
 
 
 def _spawn_entry(
-    conn, task: tuple, plan: FaultPlan | None, workload: str, attempt: int
+    conn,
+    task: tuple,
+    plan: FaultPlan | None,
+    workload: str,
+    attempt: int,
+    obs_spec: dict | None = None,
 ) -> None:
     """One-shot child entry for :class:`SpawnExecutor` (PR 3 semantics)."""
+    install_sigterm_flush()
     try:
-        conn.send(_attempt_message(task, plan, workload, attempt))
+        conn.send(_attempt_message(task, plan, workload, attempt, obs_spec))
+    except (BrokenPipeError, OSError, WorkerAborted):
+        pass
     finally:
         conn.close()
 
@@ -229,11 +288,14 @@ class WorkerPool:
     rebuild.
     """
 
-    def __init__(self, jobs: int, mp_context=None) -> None:
+    def __init__(
+        self, jobs: int, mp_context=None, obs_spec: dict | None = None
+    ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be at least 1, got {jobs}")
         self._ctx = mp_context if mp_context is not None else multiprocessing
         self._jobs = jobs
+        self._obs_spec = obs_spec
         self._idle: list[tuple[Any, Any]] = []  # (conn, process)
         self._busy: dict[Any, Any] = {}  # conn -> process
         self._closed = False
@@ -277,7 +339,7 @@ class WorkerPool:
 
         Returns the pollable connection the attempt will report on.
         """
-        request = ("run", task, workload, attempt, plan)
+        request = ("run", task, workload, attempt, plan, self._obs_spec)
         while True:
             if self._idle:
                 conn, proc = self._idle.pop()
@@ -312,11 +374,24 @@ class WorkerPool:
         self._idle.append((conn, proc))
         return message, None
 
-    def abort(self, conn) -> None:
-        """Terminate a (presumed hung) attempt; the worker is recycled."""
+    def abort(self, conn) -> Any:
+        """Terminate a (presumed hung) attempt; the worker is recycled.
+
+        The worker's SIGTERM handler gives the dying attempt a moment to
+        flush a final partial telemetry message; ``abort`` waits briefly
+        for that salvage and returns it (``None`` when nothing arrived
+        -- the attempt's telemetry is then *lost*).
+        """
         proc = self._busy.pop(conn)
         proc.terminate()
+        salvage = None
+        try:
+            if conn.poll(0.5):
+                salvage = conn.recv()
+        except (EOFError, OSError):
+            salvage = None
         self._reap(conn, proc)
+        return salvage
 
     def close(self) -> None:
         """Stop idle workers gracefully, kill busy ones, drop all pipes."""
@@ -339,7 +414,10 @@ class WorkerPool:
         self._idle.clear()
         for conn, proc in self._busy.items():
             proc.terminate()
-            proc.join()
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
             try:
                 conn.close()
             except OSError:
@@ -355,9 +433,10 @@ class SpawnExecutor:
     (``resilient_sweep(..., use_pool=False)``).
     """
 
-    def __init__(self, mp_context=None) -> None:
+    def __init__(self, mp_context=None, obs_spec: dict | None = None) -> None:
         self._ctx = mp_context if mp_context is not None else multiprocessing
         self._busy: dict[Any, Any] = {}
+        self._obs_spec = obs_spec
         self.workers_spawned = 0
         self.workers_recycled = 0
 
@@ -367,7 +446,7 @@ class SpawnExecutor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_spawn_entry,
-            args=(child_conn, task, plan, workload, attempt),
+            args=(child_conn, task, plan, workload, attempt, self._obs_spec),
             daemon=True,
         )
         proc.start()
@@ -386,11 +465,21 @@ class SpawnExecutor:
         proc.join()
         return message, proc.exitcode
 
-    def abort(self, conn) -> None:
+    def abort(self, conn) -> Any:
         proc = self._busy.pop(conn)
         proc.terminate()
-        proc.join()
+        salvage = None
+        try:
+            if conn.poll(0.5):
+                salvage = conn.recv()
+        except (EOFError, OSError):
+            salvage = None
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
         conn.close()
+        return salvage
 
     def close(self) -> None:
         for conn, proc in self._busy.items():

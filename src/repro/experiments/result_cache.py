@@ -97,6 +97,23 @@ class ResultCache:
 
     def __init__(self, root: str | os.PathLike) -> None:
         self.root = Path(root)
+        # Instance-level tallies (the process-wide sweep_cache.* counters
+        # aggregate across caches; these feed one campaign's manifest).
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def stats(self) -> dict[str, float]:
+        """This cache instance's probe statistics (manifest section)."""
+        probes = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hits / probes if probes else 0.0,
+        }
 
     def _path(self, fingerprint: str) -> Path:
         return self.root / f"{fingerprint}.json"
@@ -107,6 +124,7 @@ class ResultCache:
         try:
             text = self._path(fingerprint).read_text(encoding="utf-8")
         except (FileNotFoundError, OSError):
+            self.misses += 1
             registry.counter("sweep_cache.misses").inc()
             return None
         try:
@@ -120,9 +138,12 @@ class ResultCache:
                 comparison_from_dict(raw) for raw in payload["comparisons"]
             ]
         except Exception:
+            self.corrupt += 1
+            self.misses += 1
             registry.counter("sweep_cache.corrupt").inc()
             registry.counter("sweep_cache.misses").inc()
             return None
+        self.hits += 1
         registry.counter("sweep_cache.hits").inc()
         return comparisons
 
@@ -138,4 +159,5 @@ class ResultCache:
             atomic_write_json(self._path(fingerprint), payload, indent=None)
         except OSError:
             return
+        self.stores += 1
         get_default_registry().counter("sweep_cache.stores").inc()

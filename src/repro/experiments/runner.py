@@ -41,6 +41,7 @@ __all__ = [
     "comparison_from_dict",
     "comparison_to_dict",
     "profiles_for",
+    "technique_rollup",
 ]
 
 
@@ -133,6 +134,43 @@ def aggregate(comparisons: Iterable[RunComparison]) -> AggregateResult:
         mpki_increase=arithmetic_mean([c.mpki_increase for c in comps]),
         active_ratio_pct=arithmetic_mean([c.active_ratio_pct for c in comps]),
     )
+
+
+def technique_rollup(
+    comparisons: Iterable[RunComparison],
+) -> dict[str, dict[str, Any]]:
+    """Per-technique manifest rows from a mixed-technique comparison list.
+
+    Each row carries the paper's Section 6.4 aggregate metrics (via
+    :func:`aggregate`) plus the energy/CPI totals the run manifest's
+    report tables are built from.  Techniques are sorted so the output is
+    deterministic for fingerprinting.
+    """
+    by_technique: dict[str, list[RunComparison]] = {}
+    for comp in comparisons:
+        by_technique.setdefault(comp.technique, []).append(comp)
+    rollup: dict[str, dict[str, Any]] = {}
+    for technique in sorted(by_technique):
+        comps = by_technique[technique]
+        agg = aggregate(comps)
+        rollup[technique] = {
+            "workloads": agg.workloads,
+            "energy_saving_pct": agg.energy_saving_pct,
+            "weighted_speedup": agg.weighted_speedup,
+            "fair_speedup": agg.fair_speedup,
+            "rpki_decrease": agg.rpki_decrease,
+            "mpki_increase": agg.mpki_increase,
+            "active_ratio_pct": agg.active_ratio_pct,
+            "mean_cpi": arithmetic_mean([c.result.mean_cpi for c in comps]),
+            "baseline_cpi": arithmetic_mean(
+                [c.baseline.mean_cpi for c in comps]
+            ),
+            "total_energy_j": sum(c.result.total_energy_j for c in comps),
+            "baseline_energy_j": sum(
+                c.baseline.total_energy_j for c in comps
+            ),
+        }
+    return rollup
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,12 @@ the parallel sweep accept a tracer/registry/profiler and pay a single
 ``is not None`` test per instrumentation point when none is given.
 """
 
+from repro.obs.campaign import (
+    CampaignAggregator,
+    CampaignDashboard,
+    WorkerAborted,
+    WorkerObs,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -45,6 +51,10 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CampaignAggregator",
+    "CampaignDashboard",
+    "WorkerAborted",
+    "WorkerObs",
     "Counter",
     "Gauge",
     "Histogram",

@@ -141,6 +141,15 @@ class ProgressReporter:
         self.done = 0
         self._start = time.perf_counter()
 
+    def status(self, **fields: Any) -> None:
+        """Campaign-level status update hook (no-op here).
+
+        The resilient sweep pushes live aggregate fields (units running,
+        failures, retries, worker recycles, simulated instructions,
+        cache-hit ratio) through this seam;
+        :class:`~repro.obs.campaign.CampaignDashboard` renders them.
+        """
+
     def advance(self, unit: str, seconds: float | None = None) -> None:
         """Mark one unit finished and print progress + ETA."""
         self.done += 1

@@ -128,6 +128,11 @@ class Tracer:
     # Reading
     # ------------------------------------------------------------------
 
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (buffered + dropped)."""
+        return self._seq
+
     def __len__(self) -> int:
         return len(self._events)
 

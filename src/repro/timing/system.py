@@ -156,6 +156,13 @@ class SystemResult:
         return self.l2_misses / total if total else 0.0
 
     @property
+    def mean_cpi(self) -> float:
+        """System-level cycles per instruction (all cores pooled)."""
+        if self.total_instructions == 0:
+            return 0.0
+        return self.total_cycles / self.total_instructions
+
+    @property
     def total_energy_j(self) -> float:
         return self.energy.total_j
 

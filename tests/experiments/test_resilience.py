@@ -169,6 +169,109 @@ class TestDegradation:
         assert comp.result == ref.result
 
 
+class TestCampaignTelemetry:
+    def test_clean_sweep_merges_every_unit(self):
+        result = resilient_sweep(
+            config(), ["gamess", "povray"], ("esteem",), jobs=2
+        )
+        telem = result.telemetry
+        assert sorted(telem["per_unit"]) == ["gamess", "povray"]
+        assert telem["lost"] == []
+        assert telem["rollup"]["units_merged"] == 2
+        # Merged campaign counters are the exact sum of per-unit truths
+        # (integer-valued counters never round under float addition).
+        for name, total in telem["counters"].items():
+            summed = sum(
+                u["counters"].get(name, 0.0)
+                for u in telem["per_unit"].values()
+            )
+            assert total == pytest.approx(summed, rel=1e-9)
+        assert telem["counters"]["sim.runs"] == 4  # 2 units x (base + esteem)
+
+    def test_per_technique_attribution_covers_baseline(self):
+        result = resilient_sweep(config(), ["gamess"], ("esteem",), jobs=1)
+        per = result.telemetry["per_technique"]
+        assert set(per) == {"baseline", "esteem"}
+        for entry in per.values():
+            assert entry["wall_s"] > 0
+            assert entry["counters"]["sim.runs"] == 1
+
+    def test_timeline_records_wall_clock_per_attempt(self):
+        result = resilient_sweep(
+            config(), ["gamess", "povray"], ("esteem",), jobs=2
+        )
+        assert result.wall_s > 0
+        assert len(result.timeline) == 2
+        for entry in result.timeline:
+            assert entry["outcome"] == "ok"
+            assert entry["telemetry"] == "ok"
+            assert 0 <= entry["start_s"] <= entry["end_s"] <= result.wall_s
+            assert entry["wall_s"] == pytest.approx(
+                entry["end_s"] - entry["start_s"], abs=1e-5
+            )
+
+    def test_retry_timeline_and_lost_telemetry_on_crash(self):
+        plan = FaultPlan(chaos={"gamess": ("crash",)})
+        result = resilient_sweep(
+            config(), ["gamess"], ("esteem",), jobs=1,
+            retries=2, backoff_s=0.01, plan=plan,
+        )
+        outcomes = [
+            (t["attempt"], t["outcome"], t["telemetry"])
+            for t in result.timeline
+        ]
+        assert outcomes == [(1, "retry", "lost"), (2, "ok", "ok")]
+        # Only the successful attempt feeds the campaign totals.
+        assert result.telemetry["rollup"]["units_merged"] == 1
+        assert result.telemetry["counters"]["sim.runs"] == 2
+
+    def test_sigterm_flush_salvages_partial_telemetry_on_timeout(self):
+        plan = FaultPlan(chaos={"gamess": ("hang",)}, hang_seconds=60.0)
+        result = resilient_sweep(
+            config(), ["gamess"], ("esteem",), jobs=1,
+            timeout_s=2.0, retries=2, backoff_s=0.01, plan=plan,
+        )
+        first = result.timeline[0]
+        assert first["outcome"] == "retry"
+        assert first["exc_type"] == "TimeoutError"
+        assert first["telemetry"] == "partial"
+
+    def test_failed_workload_records_telemetry_status(self):
+        plan = FaultPlan(chaos={"povray": ("crash",) * 8})
+        result = resilient_sweep(
+            config(), ["gamess", "povray"], ("esteem",), jobs=2,
+            retries=0, backoff_s=0.01, plan=plan,
+        )
+        (failure,) = result.failed
+        assert failure.telemetry == "lost"
+        manifest = result.manifest()
+        json.dumps(manifest)
+        assert manifest["failed"][0]["telemetry"] == "lost"
+        assert manifest["telemetry"]["rollup"]["units_merged"] == 1
+
+    def test_cached_and_resumed_units_noted_without_attempts(self, tmp_path):
+        cfg = config()
+        ckpt = tmp_path / "sweep.ckpt.jsonl"
+        resilient_sweep(cfg, ["gamess"], ("esteem",), jobs=1, checkpoint=ckpt)
+        resumed = resilient_sweep(
+            cfg, ["gamess"], ("esteem",), jobs=1, checkpoint=ckpt, resume=True
+        )
+        (entry,) = resumed.timeline
+        assert entry["outcome"] == "resumed"
+        assert entry["telemetry"] == "none"
+        assert resumed.telemetry["rollup"]["units_merged"] == 0
+
+    def test_trace_events_ship_ring_tail_home(self):
+        result = resilient_sweep(
+            config(), ["gamess"], ("esteem",), jobs=1, trace_events=256
+        )
+        unit = result.telemetry["per_unit"]["gamess"]
+        assert unit["events_emitted"] > 0
+        assert 0 < len(unit["events_tail"]) <= 32
+        for event in unit["events_tail"]:
+            assert "type" in event
+
+
 class TestCheckpointResume:
     def test_interrupted_sweep_resumes_bit_for_bit(self, tmp_path):
         cfg = config()

@@ -292,3 +292,138 @@ class TestSweepCommand:
         assert excinfo.value.code == 2
         err = capsys.readouterr().err
         assert "bad.json" in err
+
+
+class TestReportCommand:
+    def test_report_flags_parse(self):
+        args = build_parser().parse_args(
+            ["report", "m.json", "--format", "csv", "--output", "r.csv",
+             "--check", "--tolerance", "0.2",
+             "--bench-throughput", "t.json", "--bench-sweep", "s.json"]
+        )
+        assert args.command == "report"
+        assert args.manifest == "m.json"
+        assert args.format == "csv"
+        assert args.check is True
+        assert args.tolerance == 0.2
+
+    def test_unreadable_manifest_exits_2(self, capsys, tmp_path):
+        code = main(["report", str(tmp_path / "missing.json"), "-q"])
+        assert code == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_schema_invalid_manifest_exits_2(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "not-a-manifest"}))
+        code = main(["report", str(path), "-q"])
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+
+class TestCampaignAcceptance:
+    """ISSUE 6 acceptance: an 8-unit chaos sweep produces a manifest whose
+    campaign counters exactly equal the sum of the per-unit truths, and
+    ``repro report --check`` gates it correctly both ways."""
+
+    WORKLOADS = "gamess,povray,sphinx,h264ref,milc,libquantum,soplex,gcc"
+
+    def test_sweep_manifest_report_roundtrip(self, capsys, tmp_path):
+        import json
+
+        from repro.experiments.report import validate_manifest
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(
+            seed=7,
+            flip_rate=2e-4,
+            chaos={"gamess": ("crash",), "h264ref": ("hang",)},
+            hang_seconds=30.0,
+        ).save(plan_path)
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            ["sweep", "--workloads", self.WORKLOADS, "-t", "esteem", "rpv",
+             "--jobs", "4", "--instructions", "60000", "--timeout", "3",
+             "--retries", "2", "--backoff", "0.1",
+             "--inject", str(plan_path),
+             "--cache-dir", str(tmp_path / "cache"),
+             "--manifest", str(manifest_path), "-q"]
+        )
+        assert code == 0, capsys.readouterr().err
+        capsys.readouterr()
+
+        manifest = json.loads(manifest_path.read_text())
+        assert validate_manifest(manifest) == []
+        assert sorted(manifest["completed"]) == sorted(
+            self.WORKLOADS.split(",")
+        )
+
+        # The injected crash and hang each burned exactly one retry and
+        # left their trace in the timeline.
+        assert manifest["retries"] == 2
+        retried = {
+            t["workload"]: t for t in manifest["timeline"]
+            if t["outcome"] == "retry"
+        }
+        assert set(retried) == {"gamess", "h264ref"}
+        assert retried["h264ref"]["exc_type"] == "TimeoutError"
+
+        # Aggregated campaign counters exactly equal the sum of the
+        # per-unit truths: records simulated, fault outcomes, everything.
+        telem = manifest["telemetry"]
+        assert len(telem["per_unit"]) == 8
+        for name, total in telem["counters"].items():
+            summed = sum(
+                u["counters"].get(name, 0.0)
+                for u in telem["per_unit"].values()
+            )
+            if float(summed).is_integer():
+                assert total == summed, name
+            else:
+                assert total == pytest.approx(summed, rel=1e-9), name
+        assert telem["rollup"]["records"] > 0
+        assert telem["rollup"]["faults"], "Plane-1 faults must be counted"
+
+        # Result-cache truth: every unit missed then stored on this
+        # first pass through an empty cache directory.
+        stats = manifest["result_cache"]
+        assert stats["misses"] == 8
+        assert stats["stores"] == 8
+        assert stats["hits"] == 0
+
+        # `repro report --check` passes against the committed baselines
+        # (scale-gated: a smoke sweep skips, never spuriously fails).
+        report_path = tmp_path / "report.md"
+        code = main(
+            ["report", str(manifest_path), "--check",
+             "--output", str(report_path), "-q"]
+        )
+        assert code == 0, capsys.readouterr().err
+        text = report_path.read_text()
+        assert "## Retry / backoff timeline" in text
+        assert "TimeoutError" in text
+        capsys.readouterr()
+
+        # ... and correctly fails on a synthetically-regressed baseline
+        # built at the manifest's own scale, so the gate engages.
+        bench = manifest["bench"]
+        fake = {
+            "bench_end_to_end_simulation_rate": {
+                "instructions": bench["instructions_per_core"],
+                "techniques": {
+                    name: {"minstr_per_s": entry["minstr_per_s"] * 100}
+                    for name, entry in bench["per_technique"].items()
+                },
+            }
+        }
+        fake_path = tmp_path / "fake_bench.json"
+        fake_path.write_text(json.dumps(fake))
+        code = main(
+            ["report", str(manifest_path), "--check",
+             "--bench-throughput", str(fake_path),
+             "--output", str(tmp_path / "regressed.md"), "-q"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
