@@ -14,6 +14,19 @@ Drives both planes of the fault subsystem through one scenario:
 * finally the sweep is resumed from its checkpoint and must come back
   instantly (zero new attempts) with identical results.
 
+Two further scenarios exercise the supervision layer end to end:
+
+* ``run_supervised_scenario`` -- a sweep under heartbeat supervision
+  where one worker's heartbeat flatlines (caught in O(interval), far
+  below the unit timeout), one worker is slow-but-alive (left to its
+  deadline), and one unit is poison (kills every worker it touches; is
+  quarantined after two distinct workers die, with retry budget left);
+* ``run_interrupt_scenario`` -- a real ``repro sweep`` child process is
+  SIGTERMed mid-campaign, must exit with the distinct interrupt code
+  (4) after flushing checkpoint + partial manifest, and ``--resume``
+  must finish the campaign with aggregates bit-for-bit identical to an
+  uninterrupted run.
+
 Runs standalone (``python benchmarks/bench_fault_resilience.py``, exit 0
 on success) for the CI chaos-smoke job, or under pytest-benchmark like
 the other benches.
@@ -21,13 +34,20 @@ the other benches.
 
 from __future__ import annotations
 
+import json
 import os
+import signal
+import subprocess
 import sys
 import tempfile
+import time
 
+import repro
 from repro.config import SimConfig
 from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.experiments.parallel import resilient_sweep
+from repro.experiments.pool import active_shm_segments
+from repro.experiments.report import validate_manifest
 from repro.experiments.runner import Runner
 from repro.faults import FaultEvent, FaultPlan
 from repro.obs import Tracer
@@ -181,8 +201,217 @@ def run_scenario() -> dict:
     }
 
 
+#: Supervised scenario: every supervision failure mode in one sweep.
+SUPERVISED_WORKLOADS = ["gamess", "h264ref", "mcf", "libquantum"]
+HEARTBEAT_S = 0.25
+
+SUPERVISED_PLAN = FaultPlan(
+    seed=11,
+    chaos={
+        "gamess": ("crash",),              # dies once, recovers on retry
+        "h264ref": ("stall-heartbeat",),   # hung: beats stop, main thread
+                                           # sleeps far past the timeout
+        "mcf": ("hang",),                  # slow-but-alive: keeps beating
+        "libquantum": ("poison",) * 8,     # kills every worker -> quarantine
+    },
+    hang_seconds=30.0,
+)
+
+
+def run_supervised_scenario() -> dict:
+    config = _config()
+    result = resilient_sweep(
+        config,
+        SUPERVISED_WORKLOADS,
+        TECHNIQUES,
+        seed=SEED,
+        jobs=2,
+        timeout_s=5.0,
+        retries=3,
+        backoff_s=0.1,
+        plan=SUPERVISED_PLAN,
+        heartbeat_s=HEARTBEAT_S,
+        quarantine_after=2,
+    )
+
+    # The poison unit is quarantined (with retry budget to spare), the
+    # three recoverable faults all recover: nothing lands in failed.
+    assert result.degraded
+    assert not result.failed, [f.workload for f in result.failed]
+    (q,) = result.quarantined
+    assert q.workload == "libquantum"
+    assert q.workers >= 2, "quarantine requires two distinct dead workers"
+    assert q.attempts == 2
+    assert sorted(result.completed) == ["gamess", "h264ref", "mcf"]
+
+    by_attempt = {(t["workload"], t["attempt"]): t for t in result.timeline}
+
+    # The stalled heartbeat is detected in O(heartbeat interval): the
+    # attempt is cut down well inside the 5s unit timeout (and nowhere
+    # near the 30s the worker would have slept).
+    stalled = by_attempt[("h264ref", 1)]
+    assert stalled["exc_type"] == "HeartbeatLost"
+    assert stalled["wall_s"] < 3.0, (
+        f"hung worker took {stalled['wall_s']:.1f}s to detect"
+    )
+    assert result.supervision["hung_detected"] == 1
+
+    # The slow-but-alive hang keeps beating: it must reach its unit
+    # deadline and be classified TimeoutError, not HeartbeatLost.
+    slow = by_attempt[("mcf", 1)]
+    assert slow["exc_type"] == "TimeoutError"
+
+    # Survivors are bit-for-bit identical to a clean sequential run.
+    clean = Runner(config, seed=SEED)
+    for comp in result.comparisons["esteem"]:
+        ref = clean.compare(comp.workload, comp.technique)
+        assert comp.result == ref.result, comp.workload
+
+    # The manifest records the quarantine and validates against the
+    # checked-in schema; no shared-memory segment outlived the sweep.
+    manifest = result.manifest()
+    assert manifest["quarantined"][0]["workload"] == "libquantum"
+    assert active_shm_segments() == [], "leaked shared-memory segments"
+
+    return {
+        "hung_detect_s": round(stalled["wall_s"], 2),
+        "heartbeats_received": result.supervision["heartbeats_received"],
+        "quarantined": [x.workload for x in result.quarantined],
+        "quarantine_workers": q.workers,
+        "slow_but_alive_exc": slow["exc_type"],
+    }
+
+
+#: Interrupt scenario: a real CLI campaign, SIGTERMed mid-run.  The last
+#: unit is scripted to hang (first attempt only) far past the unit
+#: timeout, giving the signal a deterministic mid-campaign window to
+#: land in; resumed and fresh runs hit the same hang, time out once, and
+#: recover on retry.
+INTERRUPT_WORKLOADS = "gamess,povray,mcf,milc"
+INTERRUPT_PLAN = FaultPlan(chaos={"milc": ("hang",)}, hang_seconds=60.0)
+
+
+def _sweep_cmd(
+    ckpt: str, manifest: str, plan: str, resume: bool = False
+) -> list[str]:
+    cmd = [
+        sys.executable, "-m", "repro", "sweep",
+        "--workloads", INTERRUPT_WORKLOADS, "-t", "esteem",
+        "--instructions", str(INSTRUCTIONS), "--jobs", "1",
+        "--timeout", "5", "--retries", "2", "--backoff", "0.1",
+        "--inject", plan, "--no-cache",
+        "--checkpoint", ckpt, "--manifest", manifest, "-q",
+    ]
+    if resume:
+        cmd.append("--resume")
+    return cmd
+
+
+def run_interrupt_scenario() -> dict:
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    shm_before = (
+        set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = os.path.join(tmp, "sweep.ckpt.jsonl")
+        manifest_path = os.path.join(tmp, "manifest.json")
+        plan_path = os.path.join(tmp, "plan.json")
+        INTERRUPT_PLAN.save(plan_path)
+
+        proc = subprocess.Popen(
+            _sweep_cmd(ckpt, manifest_path, plan_path), env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, text=True,
+        )
+        # Wait until at least one unit is checkpointed (header + 1 line),
+        # then interrupt the campaign parent.
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"sweep exited rc={proc.returncode} before it could be "
+                    f"interrupted:\n{proc.stderr.read()}"
+                )
+            try:
+                with open(ckpt, encoding="utf-8") as fh:
+                    if sum(1 for _ in fh) >= 2:
+                        break
+            except FileNotFoundError:
+                pass
+            time.sleep(0.05)
+        proc.send_signal(signal.SIGTERM)
+        stderr = proc.communicate(timeout=60.0)[1]
+        assert proc.returncode == 4, (
+            f"interrupted sweep must exit 4, got {proc.returncode}:\n{stderr}"
+        )
+        assert "INTERRUPTED" in stderr
+
+        # The flush-on-signal contract: manifest written, schema-valid,
+        # interrupt recorded, unfinished units skipped -- never dropped.
+        interrupted = json.loads(open(manifest_path).read())
+        assert validate_manifest(interrupted) == []
+        assert interrupted["interrupted"] == "SIGTERM"
+        assert interrupted["skipped"], "unfinished units must be recorded"
+        n_workloads = len(INTERRUPT_WORKLOADS.split(","))
+        accounted = (
+            len(interrupted["completed"]) + len(interrupted["skipped"])
+        )
+        assert accounted == n_workloads, "every unit must be accounted for"
+
+        # Resume finishes the campaign cleanly...
+        rc = subprocess.run(
+            _sweep_cmd(ckpt, manifest_path, plan_path, resume=True),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ).returncode
+        assert rc == 0, f"resumed sweep must exit 0, got {rc}"
+        resumed = json.loads(open(manifest_path).read())
+        assert sorted(resumed["completed"]) == sorted(
+            INTERRUPT_WORKLOADS.split(",")
+        )
+        assert sorted(resumed["resumed"]) == sorted(
+            interrupted["completed"]
+        ), "resume must reuse exactly the units that survived the signal"
+
+        # ...and bit-for-bit: aggregates equal an uninterrupted run.
+        fresh_manifest = os.path.join(tmp, "fresh.json")
+        rc = subprocess.run(
+            _sweep_cmd(
+                os.path.join(tmp, "fresh.ckpt.jsonl"), fresh_manifest,
+                plan_path,
+            ),
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        ).returncode
+        assert rc == 0
+        fresh = json.loads(open(fresh_manifest).read())
+        assert resumed["aggregates"] == fresh["aggregates"], (
+            "resumed campaign must equal an uninterrupted run bit-for-bit"
+        )
+
+    if os.path.isdir("/dev/shm"):
+        leaked = set(os.listdir("/dev/shm")) - shm_before
+        assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+    return {
+        "interrupt_rc": 4,
+        "skipped_on_interrupt": sorted(
+            s["workload"] for s in interrupted["skipped"]
+        ),
+        "resumed_ok": True,
+        "aggregates_bit_for_bit": True,
+    }
+
+
+def run_all_scenarios() -> dict:
+    summary = run_scenario()
+    summary.update(run_supervised_scenario())
+    summary.update(run_interrupt_scenario())
+    return summary
+
+
 def bench_fault_resilience(run_once):
-    summary = run_once(run_scenario)
+    summary = run_once(run_all_scenarios)
     from conftest import emit
 
     emit(
@@ -192,7 +421,7 @@ def bench_fault_resilience(run_once):
 
 
 def main() -> int:
-    summary = run_scenario()
+    summary = run_all_scenarios()
     print("chaos scenario survived degraded-but-correct:")
     for k, v in sorted(summary.items()):
         print(f"  {k}: {v}")

@@ -394,8 +394,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     """Resilient multi-workload sweep: timeouts, retries, checkpoint/resume.
 
     Exit status: 0 for a complete sweep, 3 for a *degraded* one (some
-    workloads exhausted their retries; surviving results were still
-    reported and checkpointed).
+    workloads exhausted their retries, were quarantined as poison, or
+    were skipped by a deadline; surviving results were still reported
+    and checkpointed), 4 for an *interrupted* one (SIGINT/SIGTERM on the
+    parent; the checkpoint was flushed and ``--resume`` finishes the
+    rest bit-for-bit).
     """
     from repro.experiments.parallel import resilient_sweep
     from repro.obs.campaign import CampaignDashboard
@@ -408,6 +411,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(
             f"error: --jobs must be at least 1, got {args.jobs}",
             file=sys.stderr,
+        )
+        return 2
+    if args.heartbeat is not None and args.heartbeat <= 0:
+        print("error: --heartbeat must be positive", file=sys.stderr)
+        return 2
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive", file=sys.stderr)
+        return 2
+    if args.quarantine_after is not None and args.quarantine_after < 1:
+        print(
+            "error: --quarantine-after must be at least 1", file=sys.stderr
         )
         return 2
     if config.num_cores == 1:
@@ -437,6 +451,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         progress=reporter,
         cache=cache,
         trace_events=args.trace_events,
+        executor=args.executor,
+        heartbeat_s=args.heartbeat,
+        quarantine_after=args.quarantine_after,
+        deadline_s=args.deadline,
     )
 
     rows = []
@@ -473,7 +491,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         atomic_write_json(args.manifest, manifest)
         print(f"manifest written to {args.manifest}")
-    if result.degraded:
+    if result.quarantined:
+        print(
+            f"QUARANTINED: {len(result.quarantined)} poison workload(s) "
+            f"pulled from the run queue:",
+            file=sys.stderr,
+        )
+        for q in result.quarantined:
+            print(
+                f"  {q.workload}: [{q.exc_type}] killed {q.workers} "
+                f"distinct worker(s) over {q.attempts} attempt(s)",
+                file=sys.stderr,
+            )
+    if result.skipped:
+        print(
+            f"SKIPPED: {len(result.skipped)} workload(s) cancelled "
+            f"({result.skipped[0].reason}); rerun with --resume to "
+            f"finish them:",
+            file=sys.stderr,
+        )
+        for s in result.skipped:
+            print(f"  {s.workload}: skipped-{s.reason}", file=sys.stderr)
+    if result.failed:
         print(
             f"DEGRADED: {len(result.failed)} workload(s) lost after "
             f"{result.attempts} attempts ({result.retries} retries):",
@@ -485,6 +524,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"attempt(s)",
                 file=sys.stderr,
             )
+    if result.interrupted:
+        # Interrupted wins over degraded: the operator asked the
+        # campaign to stop, and the distinct code tells wrappers the
+        # checkpoint is resumable rather than the sweep broken.
+        print(
+            f"INTERRUPTED by {result.interrupted}: checkpoint and "
+            f"manifest flushed; rerun with --resume to finish",
+            file=sys.stderr,
+        )
+        return 4
+    if result.degraded:
         return 3
     if not args.quiet:
         print(
@@ -809,6 +859,27 @@ def build_parser() -> argparse.ArgumentParser:
                      help="per-worker event ring capacity; the tail of "
                           "each unit's trace ships home in the manifest "
                           "(default 0: metrics only, keeps the fast path)")
+    swp.add_argument("--executor", default=None,
+                     choices=["pool", "spawn", "inprocess", "remote"],
+                     help="execution backend from the executor registry "
+                          "(default: the warm worker pool)")
+    swp.add_argument("--heartbeat", type=float, default=None,
+                     metavar="SECONDS",
+                     help="worker heartbeat interval; a worker whose "
+                          "beats flatline is condemned as hung after 2 "
+                          "missed intervals instead of waiting out the "
+                          "full --timeout (default: off)")
+    swp.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="whole-campaign wall-clock budget; on expiry, "
+                          "unfinished workloads are recorded as "
+                          "skipped-deadline, never silently dropped "
+                          "(default: off)")
+    swp.add_argument("--quarantine-after", type=int, default=None,
+                     dest="quarantine_after", metavar="N",
+                     help="quarantine a workload whose attempts kill N "
+                          "distinct workers (poison-unit detection; "
+                          "default: off)")
     _add_machine_args(swp)
     # Sweeps are the bulk workload: default the worker count to the
     # machine instead of 1 (None -> os.cpu_count() in resilient_sweep).

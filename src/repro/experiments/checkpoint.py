@@ -18,9 +18,16 @@ work.  Properties the resilient harness relies on:
   :func:`~repro.experiments.runner.comparison_to_dict`, whose JSON
   float encoding is shortest-round-trip, so a resumed sweep's results
   are bit-for-bit identical to an uninterrupted run.
-* **Tolerant on load**: a truncated final line (e.g. the process died
-  mid-``os.replace`` on a filesystem without atomic rename) is dropped
-  with a warning rather than aborting the resume.
+* **Tolerant on load**: a truncated, corrupt or otherwise unparsable
+  line (e.g. the process died mid-``os.replace`` on a filesystem without
+  atomic rename, or a partial write left garbage values) is dropped with
+  a warning rather than aborting the resume -- the affected unit is
+  simply re-executed.
+* **Event lines**: besides completed comparisons the checkpoint carries
+  supervision events (``quarantined``, ``skipped-deadline``,
+  ``skipped-interrupt``) so a resumed campaign knows a unit was pulled
+  deliberately -- a quarantined unit stays quarantined instead of being
+  silently re-fed to fresh workers.
 """
 
 from __future__ import annotations
@@ -82,6 +89,8 @@ class SweepCheckpoint:
         self.fingerprint = fingerprint
         #: workload -> list of completed comparisons for that workload.
         self.completed: dict[str, list[RunComparison]] = {}
+        #: Supervision event records ({"event", "workload", "detail"}).
+        self.events: list[dict[str, Any]] = []
         self._lines: list[str] = [
             json.dumps({"magic": _MAGIC, "fingerprint": fingerprint})
         ]
@@ -129,8 +138,17 @@ class SweepCheckpoint:
                 continue
             try:
                 raw = json.loads(line)
+                if isinstance(raw, dict) and "event" in raw:
+                    ckpt.events.append(raw)
+                    ckpt._lines.append(line)
+                    continue
                 comp = comparison_from_dict(raw)
-            except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            # Deliberately broad: a crash-during-write can leave *any*
+            # malformed shape behind (not just JSON truncation -- also
+            # garbage values that fail inside comparison_from_dict).
+            # One bad line must never make the whole checkpoint
+            # unusable; the unit is simply re-executed.
+            except Exception as exc:  # noqa: BLE001
                 print(
                     f"warning: dropping unparsable checkpoint line {n} "
                     f"of {path} ({type(exc).__name__}); the unit will be "
@@ -160,6 +178,36 @@ class SweepCheckpoint:
                 json.dumps(comparison_to_dict(comp), sort_keys=True)
             )
         atomic_write(self.path, "\n".join(self._lines) + "\n")
+
+    def note_event(
+        self, event: str, workload: str, detail: str = ""
+    ) -> None:
+        """Persist one supervision event (quarantine / deadline skip).
+
+        Idempotent per ``(event, workload)`` so a resumed campaign that
+        re-derives the same verdict does not duplicate the record.
+        """
+        if any(
+            e.get("event") == event and e.get("workload") == workload
+            for e in self.events
+        ):
+            return
+        record = {"event": event, "workload": workload, "detail": detail}
+        self.events.append(record)
+        self._lines.append(json.dumps(record, sort_keys=True))
+        atomic_write(self.path, "\n".join(self._lines) + "\n")
+
+    def workloads_with_event(self, event: str) -> set[str]:
+        """Workloads carrying a given supervision event."""
+        return {
+            e["workload"]
+            for e in self.events
+            if e.get("event") == event and "workload" in e
+        }
+
+    @property
+    def quarantined_workloads(self) -> set[str]:
+        return self.workloads_with_event("quarantined")
 
     @property
     def units(self) -> int:

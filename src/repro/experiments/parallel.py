@@ -50,6 +50,14 @@ from repro.experiments import _trace_cache
 from repro.experiments.checkpoint import SweepCheckpoint, sweep_fingerprint
 from repro.experiments.result_cache import ResultCache, unit_fingerprint
 from repro.experiments.runner import RunComparison, Runner, profiles_for
+from repro.experiments.supervise import (
+    DeadlineBudget,
+    HeartbeatMonitor,
+    ParentSignalWatch,
+    QuarantineTracker,
+    create_executor,
+    full_jitter_delay,
+)
 from repro.faults.plan import FaultPlan
 from repro.obs.campaign import (
     CampaignAggregator,
@@ -62,6 +70,8 @@ from repro.workloads.trace import Trace, TraceShmHandle
 __all__ = [
     "FailedWorkload",
     "ParallelWorkerError",
+    "QuarantinedWorkload",
+    "SkippedWorkload",
     "SweepResult",
     "TRANSIENT_EXC_TYPES",
     "parallel_compare",
@@ -77,6 +87,7 @@ TRANSIENT_EXC_TYPES: frozenset[str] = frozenset(
     {
         "TimeoutError",
         "WorkerCrash",
+        "HeartbeatLost",
         "CorruptResult",
         "BrokenProcessPool",
         "BrokenPipeError",
@@ -359,6 +370,40 @@ class FailedWorkload:
     telemetry: str = "lost"
 
 
+@dataclass(frozen=True)
+class QuarantinedWorkload:
+    """Manifest entry for a poison unit pulled from the run queue.
+
+    ``workers`` counts the *distinct* workers this unit's attempts took
+    down before the quarantine threshold tripped; ``fingerprint`` is the
+    unit's content fingerprint (result-cache scheme), or ``""`` when the
+    unit could not be fingerprinted (keyed by workload name instead).
+    """
+
+    workload: str
+    fingerprint: str
+    attempts: int
+    workers: int
+    exc_type: str
+    detail: str
+    telemetry: str = "lost"
+
+
+@dataclass(frozen=True)
+class SkippedWorkload:
+    """Manifest entry for a unit cancelled by supervision, not failure.
+
+    ``reason`` is ``"deadline"`` (the campaign budget expired) or
+    ``"interrupt"`` (the parent was signalled); ``attempts`` counts the
+    attempts consumed before cancellation (0 for never-started units).
+    Skips are recorded in the checkpoint too -- never silently dropped.
+    """
+
+    workload: str
+    reason: str
+    attempts: int = 0
+
+
 @dataclass
 class SweepResult:
     """Outcome of :func:`resilient_sweep`.
@@ -394,10 +439,18 @@ class SweepResult:
     wall_s: float = 0.0
     timeline: list[dict[str, Any]] = field(default_factory=list)
     telemetry: dict[str, Any] = field(default_factory=dict)
+    quarantined: list[QuarantinedWorkload] = field(default_factory=list)
+    skipped: list[SkippedWorkload] = field(default_factory=list)
+    #: Signal name (``"SIGTERM"``/``"SIGINT"``) when the campaign parent
+    #: was interrupted and drained gracefully; ``None`` otherwise.
+    interrupted: str | None = None
+    #: Supervision configuration + observations (heartbeat interval,
+    #: beats received, hung workers detected, deadline, executor name).
+    supervision: dict[str, Any] = field(default_factory=dict)
 
     @property
     def degraded(self) -> bool:
-        return bool(self.failed)
+        return bool(self.failed or self.quarantined or self.skipped)
 
     def manifest(self) -> dict[str, Any]:
         """JSON-able summary of what completed and what went missing."""
@@ -423,6 +476,28 @@ class SweepResult:
                 }
                 for f in self.failed
             ],
+            "quarantined": [
+                {
+                    "workload": q.workload,
+                    "fingerprint": q.fingerprint,
+                    "attempts": q.attempts,
+                    "workers": q.workers,
+                    "exc_type": q.exc_type,
+                    "detail": q.detail,
+                    "telemetry": q.telemetry,
+                }
+                for q in self.quarantined
+            ],
+            "skipped": [
+                {
+                    "workload": s.workload,
+                    "reason": s.reason,
+                    "attempts": s.attempts,
+                }
+                for s in self.skipped
+            ],
+            "interrupted": self.interrupted,
+            "supervision": dict(self.supervision),
         }
 
 
@@ -439,6 +514,11 @@ class _Unit:
     last_exc_type: str = ""
     last_detail: str = ""
     last_telemetry: str = "lost"  # obs outcome of the latest attempt
+
+
+#: Sentinel for "the pipe yielded only heartbeats; the attempt is still
+#: running" in the supervised receive loop.
+_PENDING = object()
 
 
 def _telemetry_status(telemetry: Any) -> str:
@@ -483,6 +563,11 @@ def resilient_sweep(
     cache: ResultCache | None = None,
     use_pool: bool = True,
     trace_events: int = 0,
+    executor: str | None = None,
+    heartbeat_s: float | None = None,
+    heartbeat_misses: float = 2.0,
+    quarantine_after: int | None = None,
+    deadline_s: float | None = None,
 ) -> SweepResult:
     """A :func:`parallel_compare` that survives hostile infrastructure.
 
@@ -533,12 +618,31 @@ def resilient_sweep(
     reporters receive live aggregate fields through
     ``reporter.status(...)`` (see
     :class:`~repro.obs.campaign.CampaignDashboard`).
+
+    Supervision (all off by default; see
+    :mod:`repro.experiments.supervise`): ``executor`` selects a backend
+    from the executor registry by name (``pool`` / ``spawn`` /
+    ``inprocess`` / ``remote``; default: ``use_pool``'s engine).  With
+    ``heartbeat_s`` set, workers beat on their result pipes and a worker
+    whose beats flatline is condemned as *hung* after ``heartbeat_misses``
+    missed intervals -- O(heartbeat interval) detection, retried as
+    ``HeartbeatLost`` -- while a slow-but-alive worker that keeps beating
+    runs to its ``timeout_s`` deadline.  With ``quarantine_after=N``, a
+    unit whose attempts kill ``N`` *distinct* workers (crash / timeout /
+    lost heartbeat) is quarantined out of the run queue as poison and
+    reported in the manifest; a resumed campaign keeps it quarantined.
+    With ``deadline_s`` set, the whole campaign gets a wall-clock budget:
+    on expiry, running attempts are aborted and every unfinished unit is
+    recorded as ``skipped-deadline`` -- never silently dropped.  SIGINT/
+    SIGTERM on the parent triggers the same fair cancellation
+    (``skipped-interrupt``) after flushing the checkpoint, and the
+    result's ``interrupted`` carries the signal name so the CLI can exit
+    with a distinct resumable code.  Retry backoff is seeded full jitter
+    (uniform in ``[0, backoff_s * 2**(attempt-1))``, reproducible from
+    ``seed``) so simultaneous transient failures do not retry in
+    lockstep.
     """
-    from repro.experiments.pool import (
-        SharedTraceStore,
-        SpawnExecutor,
-        WorkerPool,
-    )
+    from repro.experiments.pool import SharedTraceStore, _is_heartbeat
 
     workload_list = list(workloads)
     if not workload_list:
@@ -552,8 +656,27 @@ def resilient_sweep(
         raise ValueError("retries must be non-negative")
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError("timeout must be positive")
+    if heartbeat_s is not None and heartbeat_s <= 0:
+        raise ValueError("heartbeat interval must be positive")
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     jobs = min(jobs, len(workload_list))
+
+    executor_name = executor or ("pool" if use_pool else "spawn")
+    obs_spec: dict[str, Any] = {}
+    if trace_events:
+        obs_spec["trace_capacity"] = trace_events
+    if heartbeat_s is not None:
+        obs_spec["heartbeat_s"] = heartbeat_s
+    executor_obj = create_executor(executor_name, jobs=jobs, obs_spec=obs_spec)
+    jobs = max(1, min(jobs, getattr(executor_obj, "max_concurrency", jobs)))
+
+    hb = (
+        HeartbeatMonitor(heartbeat_s, heartbeat_misses)
+        if heartbeat_s is not None
+        else None
+    )
+    quarantine = QuarantineTracker(quarantine_after)
+    budget: DeadlineBudget | None = None
 
     ckpt: SweepCheckpoint | None = None
     if checkpoint is not None:
@@ -574,6 +697,8 @@ def resilient_sweep(
         )
 
     sweep_start = time.monotonic()
+    if deadline_s is not None:
+        budget = DeadlineBudget(deadline_s, start=sweep_start)
 
     def rel_now() -> float:
         return time.monotonic() - sweep_start
@@ -589,24 +714,33 @@ def resilient_sweep(
         start_s: float,
         end_s: float,
         telemetry_status: str,
+        in_flight: bool = False,
     ) -> None:
-        timeline.append(
-            {
-                "workload": workload,
-                "attempt": attempt,
-                "outcome": outcome,
-                "exc_type": exc_type,
-                "start_s": round(start_s, 6),
-                "end_s": round(end_s, 6),
-                "wall_s": round(end_s - start_s, 6),
-                "telemetry": telemetry_status,
-            }
-        )
+        entry = {
+            "workload": workload,
+            "attempt": attempt,
+            "outcome": outcome,
+            "exc_type": exc_type,
+            "start_s": round(start_s, 6),
+            "end_s": round(end_s, 6),
+            "wall_s": round(end_s - start_s, 6),
+            "telemetry": telemetry_status,
+        }
+        if in_flight:
+            # The attempt was cancelled mid-run (deadline/interrupt) --
+            # it consumed an executor dispatch without reaching a
+            # terminal outcome of its own.
+            entry["in_flight"] = True
+        timeline.append(entry)
 
-    store = SharedTraceStore() if use_pool else None
+    # Zero-copy shared-memory trace shipping only pays off for the warm
+    # pool; spawn/inprocess/remote ship traces through the task pickle.
+    store = SharedTraceStore() if executor_name == "pool" else None
     results: list[list[RunComparison] | None] = [None] * len(workload_list)
     resumed: list[str] = []
     cached: list[str] = []
+    quarantined: list[QuarantinedWorkload] = []
+    skipped: list[SkippedWorkload] = []
     units: deque[_Unit] = deque()
     for i, w in enumerate(workload_list):
         if ckpt is not None and ckpt.has_workload(w, technique_tuple):
@@ -621,6 +755,44 @@ def resilient_sweep(
         unit_fp, hit = _cached_unit(
             cache, config, w, technique_tuple, seed, plan
         )
+        if not unit_fp:
+            # The quarantine ledger keys on the unit's content
+            # fingerprint even when no result cache is attached.
+            try:
+                unit_fp = unit_fingerprint(
+                    config, w, technique_tuple, seed, plan
+                )
+            except Exception:
+                unit_fp = ""
+        if ckpt is not None and w in ckpt.quarantined_workloads:
+            # A previous run of this campaign already condemned this
+            # unit; a resume must not re-feed the poison to fresh
+            # workers.  note_event is idempotent, so re-deriving the
+            # verdict does not duplicate the checkpoint record.
+            prior = next(
+                (
+                    e.get("detail", "")
+                    for e in ckpt.events
+                    if e.get("event") == "quarantined"
+                    and e.get("workload") == w
+                ),
+                "",
+            )
+            quarantine.quarantine(unit_fp or w)
+            quarantined.append(
+                QuarantinedWorkload(
+                    workload=w,
+                    fingerprint=unit_fp,
+                    attempts=0,
+                    workers=0,
+                    exc_type=prior or "WorkerCrash",
+                    detail="quarantined by a previous run of this "
+                    "campaign (resumed)",
+                )
+            )
+            note(w, 0, "quarantined", prior, rel_now(), rel_now(), "none")
+            reporter.advance(f"{w} (QUARANTINED)", 0.0)
+            continue
         if hit is not None:
             results[i] = hit
             cached.append(w)
@@ -660,12 +832,8 @@ def resilient_sweep(
     failed: list[FailedWorkload] = []
     total_attempts = 0
     total_retries = 0
-    obs_spec = {"trace_capacity": trace_events} if trace_events else {}
-    executor = (
-        WorkerPool(jobs, obs_spec=obs_spec)
-        if use_pool
-        else SpawnExecutor(obs_spec=obs_spec)
-    )
+    hung_detected = 0
+    interrupted: str | None = None
     # conn -> (unit, deadline | None, started_at)
     running: dict[Any, tuple[_Unit, float | None, float]] = {}
     # (ready_time, unit) entries waiting out their backoff.
@@ -676,8 +844,11 @@ def resilient_sweep(
             running=len(running),
             failed=len(failed),
             retries=total_retries,
-            recycled=executor.workers_recycled,
+            recycled=executor_obj.workers_recycled,
             cached=len(cached),
+            quarantined=len(quarantined),
+            skipped=len(skipped),
+            hung=hung_detected,
             instructions=agg.counters.get("sim.instructions", 0.0),
             cache_hit_pct=100.0 * len(cached) / len(workload_list),
         )
@@ -701,137 +872,309 @@ def resilient_sweep(
         settle(unit)
         reporter.advance(f"{unit.workload} (FAILED)", 0.0)
 
-    def dispose(unit: _Unit, exc_type: str, detail: str) -> str:
-        """Retry or abandon a failed attempt; returns the outcome."""
+    def dispose(
+        unit: _Unit, exc_type: str, detail: str, worker: int = -1
+    ) -> str:
+        """Retry, quarantine, or abandon a failed attempt.
+
+        Returns the outcome label.  Quarantine outranks both retry and
+        abandon: a unit that has now killed ``quarantine_after`` distinct
+        workers is poison regardless of remaining retry budget.
+        """
         nonlocal total_retries
         unit.last_exc_type = exc_type
         unit.last_detail = detail
+        key = unit.fingerprint or unit.workload
+        quarantine.record_lethal(key, worker, exc_type)
+        if (
+            quarantine.should_quarantine(key)
+            and key not in quarantine.quarantined
+        ):
+            quarantine.quarantine(key)
+            quarantined.append(
+                QuarantinedWorkload(
+                    workload=unit.workload,
+                    fingerprint=unit.fingerprint,
+                    attempts=unit.attempt,
+                    workers=quarantine.distinct_workers(key),
+                    exc_type=exc_type,
+                    detail=detail,
+                    telemetry=unit.last_telemetry,
+                )
+            )
+            if ckpt is not None:
+                ckpt.note_event("quarantined", unit.workload, exc_type)
+            settle(unit)
+            reporter.advance(f"{unit.workload} (QUARANTINED)", 0.0)
+            return "quarantined"
         transient = exc_type in TRANSIENT_EXC_TYPES
         if transient and unit.attempt <= retries:
             total_retries += 1
-            delay = backoff_s * (2 ** (unit.attempt - 1)) if backoff_s else 0.0
+            delay = (
+                full_jitter_delay(backoff_s, seed, unit.workload, unit.attempt)
+                if backoff_s
+                else 0.0
+            )
             backing_off.append((time.monotonic() + delay, unit))
             return "retry"
         abandon(unit, exc_type, detail)
         return "failed"
 
+    def cancel_remaining(reason: str) -> None:
+        """Fair cancellation: abort in-flight attempts, record every
+        unfinished unit as ``skipped-<reason>`` -- never silently drop."""
+        for conn in list(running):
+            unit, _deadline, started_s = running.pop(conn)
+            if hb is not None:
+                hb.forget(conn)
+            salvage = executor_obj.abort(conn)
+            telemetry = telemetry_from_message(salvage)
+            unit.last_telemetry = _telemetry_status(telemetry)
+            skipped.append(
+                SkippedWorkload(unit.workload, reason, unit.attempt)
+            )
+            note(
+                unit.workload, unit.attempt, f"skipped-{reason}", "",
+                started_s, rel_now(), unit.last_telemetry, in_flight=True,
+            )
+            if ckpt is not None:
+                ckpt.note_event(f"skipped-{reason}", unit.workload)
+            settle(unit)
+            reporter.advance(f"{unit.workload} (SKIPPED)", 0.0)
+        leftovers = list(units) + [u for _, u in backing_off]
+        units.clear()
+        backing_off.clear()
+        for unit in leftovers:
+            skipped.append(
+                SkippedWorkload(unit.workload, reason, unit.attempt)
+            )
+            note(
+                unit.workload, unit.attempt, f"skipped-{reason}", "",
+                rel_now(), rel_now(), "none",
+            )
+            if ckpt is not None:
+                ckpt.note_event(f"skipped-{reason}", unit.workload)
+            settle(unit)
+            reporter.advance(f"{unit.workload} (SKIPPED)", 0.0)
+
+    watch = ParentSignalWatch()
     try:
-        while units or backing_off or running:
-            now = time.monotonic()
-            if backing_off:
-                still_waiting = []
-                for ready_at, unit in backing_off:
-                    if ready_at <= now:
-                        units.append(unit)
-                    else:
-                        still_waiting.append((ready_at, unit))
-                backing_off[:] = still_waiting
-            while units and len(running) < jobs:
-                unit = units.popleft()
-                conn = executor.start(
-                    unit.task, unit.workload, unit.attempt, plan
-                )
-                unit.attempt += 1
-                total_attempts += 1
-                deadline = now + timeout_s if timeout_s is not None else None
-                running[conn] = (unit, deadline, rel_now())
-            if not running:
+        with watch:
+            while units or backing_off or running:
+                # Graceful drain: handlers only set a flag, so a signal
+                # can never corrupt a checkpoint write mid-os.replace.
+                if watch.signame is not None:
+                    interrupted = watch.signame
+                    cancel_remaining("interrupt")
+                    break
+                if budget is not None and budget.expired():
+                    cancel_remaining("deadline")
+                    break
+                now = time.monotonic()
                 if backing_off:
-                    sleep_until = min(t for t, _ in backing_off)
-                    time.sleep(max(0.0, sleep_until - time.monotonic()))
-                continue
-            # Block until a worker reports, dies, or a deadline/backoff
-            # expiry needs attention.
-            wait_timeout = None
-            deadlines = [d for _, d, _s in running.values() if d is not None]
-            wake_times = deadlines + [t for t, _ in backing_off]
-            if wake_times:
-                wait_timeout = max(0.0, min(wake_times) - time.monotonic())
-            ready = pipe_wait(list(running), timeout=wait_timeout)
-            for conn in ready:
-                unit, _deadline, started_s = running.pop(conn)
-                message, exitcode = executor.finish(conn)
-                telemetry = telemetry_from_message(message)
-                unit.last_telemetry = _telemetry_status(telemetry)
-                if message is None:
-                    outcome = dispose(
-                        unit,
-                        "WorkerCrash",
-                        f"worker exited without a result "
-                        f"(exitcode={exitcode})",
+                    still_waiting = []
+                    for ready_at, unit in backing_off:
+                        if ready_at <= now:
+                            units.append(unit)
+                        else:
+                            still_waiting.append((ready_at, unit))
+                    backing_off[:] = still_waiting
+                while units and len(running) < jobs:
+                    unit = units.popleft()
+                    conn = executor_obj.start(
+                        unit.task, unit.workload, unit.attempt, plan
                     )
-                    note(
-                        unit.workload, unit.attempt, outcome, "WorkerCrash",
-                        started_s, rel_now(), unit.last_telemetry,
+                    unit.attempt += 1
+                    total_attempts += 1
+                    deadline = (
+                        now + timeout_s if timeout_s is not None else None
                     )
-                elif message[0] == "ok":
-                    validated = _validate_unit_result(message[1])
-                    if validated is None:
+                    running[conn] = (unit, deadline, rel_now())
+                    if hb is not None:
+                        hb.track(conn)
+                if not running:
+                    if backing_off:
+                        sleep_until = min(t for t, _ in backing_off)
+                        time.sleep(
+                            max(
+                                0.0,
+                                min(
+                                    sleep_until - time.monotonic(), 0.25
+                                ),
+                            )
+                        )
+                    continue
+                # Block until a worker reports, dies, or a deadline /
+                # backoff / heartbeat-window / budget expiry needs
+                # attention.  Capped at 250ms so the interrupt flag is
+                # polled promptly (PEP 475 retries the wait after a
+                # non-raising signal handler).
+                deadlines = [
+                    d for _, d, _s in running.values() if d is not None
+                ]
+                wake_times = deadlines + [t for t, _ in backing_off]
+                if hb is not None:
+                    next_check = hb.next_check()
+                    if next_check is not None:
+                        wake_times.append(next_check)
+                if budget is not None:
+                    wake_times.append(budget.expires_at)
+                wait_timeout = 0.25
+                if wake_times:
+                    wait_timeout = max(
+                        0.0, min(min(wake_times) - time.monotonic(), 0.25)
+                    )
+                ready = pipe_wait(list(running), timeout=wait_timeout)
+                for conn in ready:
+                    unit, _deadline, started_s = running[conn]
+                    # Drain the pipe ourselves so heartbeats are seen:
+                    # beats reset the liveness clock and are swallowed; a
+                    # terminal message (or EOF) resolves the attempt.
+                    terminal: Any = _PENDING
+                    try:
+                        while True:
+                            received = conn.recv()
+                            if _is_heartbeat(received):
+                                if hb is not None:
+                                    hb.beat(conn)
+                                if conn.poll(0):
+                                    continue
+                                break
+                            terminal = received
+                            break
+                    except (EOFError, OSError):
+                        terminal = None
+                    if terminal is _PENDING:
+                        continue  # only beats arrived; still running
+                    running.pop(conn)
+                    if hb is not None:
+                        hb.forget(conn)
+                    # Worker identity must be read before finish(): a
+                    # mute death reaps the worker and drops its id.
+                    wid = executor_obj.worker_id(conn)
+                    message, exitcode = executor_obj.finish(conn, terminal)
+                    telemetry = telemetry_from_message(message)
+                    unit.last_telemetry = _telemetry_status(telemetry)
+                    if message is None:
                         outcome = dispose(
                             unit,
-                            "CorruptResult",
-                            f"worker returned a malformed result: "
-                            f"{type(message[1]).__name__}",
+                            "WorkerCrash",
+                            f"worker exited without a result "
+                            f"(exitcode={exitcode})",
+                            worker=wid,
                         )
                         note(
                             unit.workload, unit.attempt, outcome,
-                            "CorruptResult", started_s, rel_now(),
+                            "WorkerCrash", started_s, rel_now(),
                             unit.last_telemetry,
                         )
+                    elif message[0] == "ok":
+                        validated = _validate_unit_result(message[1])
+                        if validated is None:
+                            outcome = dispose(
+                                unit,
+                                "CorruptResult",
+                                f"worker returned a malformed result: "
+                                f"{type(message[1]).__name__}",
+                                worker=wid,
+                            )
+                            note(
+                                unit.workload, unit.attempt, outcome,
+                                "CorruptResult", started_s, rel_now(),
+                                unit.last_telemetry,
+                            )
+                        else:
+                            comparisons, wall_s = validated
+                            results[unit.index] = comparisons
+                            settle(unit)
+                            if ckpt is not None:
+                                ckpt.record(comparisons)
+                            if cache is not None and unit.fingerprint:
+                                cache.put(unit.fingerprint, comparisons)
+                            # Only successful attempts feed the campaign
+                            # totals: merged counters stay the exact sum
+                            # of the units that produced results.
+                            agg.add_unit(unit.workload, telemetry)
+                            note(
+                                unit.workload, unit.attempt, "ok", "",
+                                started_s, rel_now(), unit.last_telemetry,
+                            )
+                            reporter.advance(unit.workload, wall_s)
                     else:
-                        comparisons, wall_s = validated
-                        results[unit.index] = comparisons
-                        settle(unit)
-                        if ckpt is not None:
-                            ckpt.record(comparisons)
-                        if cache is not None and unit.fingerprint:
-                            cache.put(unit.fingerprint, comparisons)
-                        # Only successful attempts feed the campaign
-                        # totals: merged counters stay the exact sum of
-                        # the units that produced results.
-                        agg.add_unit(unit.workload, telemetry)
+                        _tag, exc_type, detail, *_rest = message
+                        outcome = dispose(
+                            unit, exc_type, detail, worker=wid
+                        )
                         note(
-                            unit.workload, unit.attempt, "ok", "",
+                            unit.workload, unit.attempt, outcome, exc_type,
                             started_s, rel_now(), unit.last_telemetry,
                         )
-                        reporter.advance(unit.workload, wall_s)
-                else:
-                    _tag, exc_type, detail, *_rest = message
-                    outcome = dispose(unit, exc_type, detail)
-                    note(
-                        unit.workload, unit.attempt, outcome, exc_type,
-                        started_s, rel_now(), unit.last_telemetry,
+                # Enforce wall-clock deadlines on whoever is still
+                # running.  A worker that is *beating* but slow lands
+                # here -- slow-but-alive runs to its full deadline.
+                now = time.monotonic()
+                overdue = [
+                    conn
+                    for conn, (_u, deadline, _s) in running.items()
+                    if deadline is not None and now >= deadline
+                ]
+                for conn in overdue:
+                    unit, _deadline, started_s = running.pop(conn)
+                    if hb is not None:
+                        hb.forget(conn)
+                    wid = executor_obj.worker_id(conn)
+                    # abort() SIGTERMs the worker and waits briefly for
+                    # the partial telemetry snapshot its abort handler
+                    # flushes.
+                    salvage = executor_obj.abort(conn)
+                    telemetry = telemetry_from_message(salvage)
+                    unit.last_telemetry = _telemetry_status(telemetry)
+                    outcome = dispose(
+                        unit,
+                        "TimeoutError",
+                        f"attempt exceeded the {timeout_s:g}s wall-clock "
+                        f"timeout and was terminated",
+                        worker=wid,
                     )
-            # Enforce wall-clock deadlines on whoever is still running.
-            now = time.monotonic()
-            overdue = [
-                conn
-                for conn, (_u, deadline, _s) in running.items()
-                if deadline is not None and now >= deadline
-            ]
-            for conn in overdue:
-                unit, _deadline, started_s = running.pop(conn)
-                # abort() SIGTERMs the worker and waits briefly for the
-                # partial telemetry snapshot its abort handler flushes.
-                salvage = executor.abort(conn)
-                telemetry = telemetry_from_message(salvage)
-                unit.last_telemetry = _telemetry_status(telemetry)
-                outcome = dispose(
-                    unit,
-                    "TimeoutError",
-                    f"attempt exceeded the {timeout_s:g}s wall-clock "
-                    f"timeout and was terminated",
-                )
-                note(
-                    unit.workload, unit.attempt, outcome, "TimeoutError",
-                    started_s, rel_now(), unit.last_telemetry,
-                )
-            push_status()
+                    note(
+                        unit.workload, unit.attempt, outcome,
+                        "TimeoutError", started_s, rel_now(),
+                        unit.last_telemetry,
+                    )
+                # A worker whose beats flatlined is *hung*: condemned in
+                # O(heartbeat window), not O(unit timeout).
+                if hb is not None:
+                    for conn in hb.overdue():
+                        entry = running.pop(conn, None)
+                        hb.forget(conn)
+                        if entry is None:
+                            continue
+                        unit, _deadline, started_s = entry
+                        hung_detected += 1
+                        wid = executor_obj.worker_id(conn)
+                        salvage = executor_obj.abort(conn)
+                        telemetry = telemetry_from_message(salvage)
+                        unit.last_telemetry = _telemetry_status(telemetry)
+                        outcome = dispose(
+                            unit,
+                            "HeartbeatLost",
+                            f"no heartbeat for more than "
+                            f"{hb.window_s:g}s ({hb.interval_s:g}s "
+                            f"interval x {hb.misses:g} misses); worker "
+                            f"presumed hung and terminated",
+                            worker=wid,
+                        )
+                        note(
+                            unit.workload, unit.attempt, outcome,
+                            "HeartbeatLost", started_s, rel_now(),
+                            unit.last_telemetry,
+                        )
+                push_status()
     finally:
         try:
             for conn in list(running):
-                executor.abort(conn)
-            executor.close()
+                executor_obj.abort(conn)
+            executor_obj.close()
         finally:
             if store is not None:
                 store.close()
@@ -845,6 +1188,15 @@ def resilient_sweep(
         completed.append(w)
         for comparison in per_workload:
             out[comparison.technique].append(comparison)
+    supervision = {
+        "executor": executor_name,
+        "heartbeat_s": heartbeat_s,
+        "heartbeat_misses": heartbeat_misses if heartbeat_s else None,
+        "heartbeats_received": hb.beats_received if hb is not None else 0,
+        "hung_detected": hung_detected,
+        "deadline_s": deadline_s,
+        "quarantine_after": quarantine_after,
+    }
     return SweepResult(
         comparisons=out,
         completed=completed,
@@ -853,9 +1205,13 @@ def resilient_sweep(
         attempts=total_attempts,
         retries=total_retries,
         cached=cached,
-        workers_spawned=executor.workers_spawned,
-        workers_recycled=executor.workers_recycled,
+        workers_spawned=executor_obj.workers_spawned,
+        workers_recycled=executor_obj.workers_recycled,
         wall_s=rel_now(),
         timeline=timeline,
         telemetry=agg.as_dict(),
+        quarantined=quarantined,
+        skipped=skipped,
+        interrupted=interrupted,
+        supervision=supervision,
     )

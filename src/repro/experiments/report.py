@@ -91,7 +91,10 @@ def format_table(
 # ----------------------------------------------------------------------
 
 MANIFEST_KIND = "repro-sweep-manifest"
-MANIFEST_VERSION = 1
+#: v2 added the supervision block: ``quarantined`` / ``skipped`` /
+#: ``interrupted`` / ``supervision`` keys and the quarantine/skip
+#: timeline outcomes.
+MANIFEST_VERSION = 2
 
 
 def build_manifest(
@@ -213,7 +216,8 @@ MANIFEST_SCHEMA: dict[str, Any] = {
         "config", "workloads", "techniques", "seed", "plan",
         "degraded", "completed", "resumed", "cached", "attempts",
         "retries", "workers_spawned", "workers_recycled", "wall_s",
-        "timeline", "telemetry", "failed", "aggregates", "bench",
+        "timeline", "telemetry", "failed", "quarantined", "skipped",
+        "interrupted", "supervision", "aggregates", "bench",
         "result_cache",
     ],
     "properties": {
@@ -249,6 +253,8 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                     "outcome": {
                         "enum": [
                             "ok", "retry", "failed", "cached", "resumed",
+                            "quarantined", "skipped-deadline",
+                            "skipped-interrupt",
                         ],
                     },
                     "exc_type": {"type": "string"},
@@ -277,6 +283,53 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                     "detail": {"type": "string"},
                     "telemetry": {"enum": ["ok", "partial", "lost"]},
                 },
+            },
+        },
+        "quarantined": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "workload", "fingerprint", "attempts", "workers",
+                    "exc_type", "detail", "telemetry",
+                ],
+                "properties": {
+                    "workload": {"type": "string"},
+                    "fingerprint": {"type": "string"},
+                    "attempts": {"type": "integer"},
+                    "workers": {"type": "integer"},
+                    "exc_type": {"type": "string"},
+                    "detail": {"type": "string"},
+                    "telemetry": {"enum": ["ok", "partial", "lost"]},
+                },
+            },
+        },
+        "skipped": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["workload", "reason", "attempts"],
+                "properties": {
+                    "workload": {"type": "string"},
+                    "reason": {"enum": ["deadline", "interrupt"]},
+                    "attempts": {"type": "integer"},
+                },
+            },
+        },
+        "interrupted": {"type": ["string", "null"]},
+        "supervision": {
+            "type": "object",
+            "required": [
+                "executor", "heartbeat_s", "heartbeats_received",
+                "hung_detected", "deadline_s", "quarantine_after",
+            ],
+            "properties": {
+                "executor": {"type": "string"},
+                "heartbeat_s": {"type": ["number", "null"]},
+                "heartbeats_received": {"type": "integer"},
+                "hung_detected": {"type": "integer"},
+                "deadline_s": {"type": ["number", "null"]},
+                "quarantine_after": {"type": ["integer", "null"]},
             },
         },
         "aggregates": {"type": "object"},
@@ -411,8 +464,21 @@ def check_consistency(manifest: Mapping[str, Any]) -> list[str]:
         )
 
     timeline = manifest.get("timeline", [])
+    # One timeline record per dispatched attempt: terminal outcomes with
+    # attempt >= 1 (a resume-re-quarantine records attempt 0 without
+    # dispatching), plus cancelled attempts that were in flight when the
+    # deadline or an interrupt pulled them (marked ``in_flight``).
     attempt_entries = [
-        t for t in timeline if t.get("outcome") in ("ok", "retry", "failed")
+        t
+        for t in timeline
+        if (
+            t.get("outcome") in ("ok", "retry", "failed", "quarantined")
+            and t.get("attempt", 0) >= 1
+        )
+        or (
+            str(t.get("outcome", "")).startswith("skipped-")
+            and t.get("in_flight")
+        )
     ]
     if manifest.get("attempts") != len(attempt_entries):
         failures.append(
@@ -432,6 +498,13 @@ def check_consistency(manifest: Mapping[str, Any]) -> list[str]:
                 f"workload {entry.get('workload')} is both completed and "
                 f"failed"
             )
+    for label in ("quarantined", "skipped"):
+        for entry in manifest.get(label, []):
+            if entry.get("workload") in completed:
+                failures.append(
+                    f"workload {entry.get('workload')} is both completed "
+                    f"and {label}"
+                )
     return failures
 
 
@@ -572,7 +645,9 @@ def _retry_timeline_rows(manifest: Mapping[str, Any]) -> list[list[Any]]:
     eventful = {
         t.get("workload")
         for t in manifest.get("timeline", [])
-        if t.get("outcome") in ("retry", "failed")
+        if t.get("outcome")
+        in ("retry", "failed", "quarantined", "skipped-deadline",
+            "skipped-interrupt")
     }
     rows = []
     for t in manifest.get("timeline", []):
@@ -610,12 +685,15 @@ def render_markdown(
     out.append("## Summary")
     out.append("")
     out.append(_md_table(
-        ["workloads", "completed", "failed", "cached", "resumed",
-         "attempts", "retries", "recycled", "wall s", "degraded"],
+        ["workloads", "completed", "failed", "quarantined", "skipped",
+         "cached", "resumed", "attempts", "retries", "recycled",
+         "wall s", "degraded"],
         [[
             len(manifest.get("workloads", [])),
             len(manifest.get("completed", [])),
             len(manifest.get("failed", [])),
+            len(manifest.get("quarantined", [])),
+            len(manifest.get("skipped", [])),
             len(manifest.get("cached", [])),
             len(manifest.get("resumed", [])),
             manifest.get("attempts", 0),
@@ -625,6 +703,39 @@ def render_markdown(
             manifest.get("degraded", False),
         ]],
     ))
+    supervision = manifest.get("supervision") or {}
+    if manifest.get("interrupted"):
+        out.append("")
+        out.append(
+            f"**Interrupted by {manifest['interrupted']}** -- the "
+            f"checkpoint was flushed; rerun with `--resume` to finish "
+            f"the skipped units."
+        )
+    if supervision:
+        hb_s = supervision.get("heartbeat_s")
+        out.append("")
+        out.append(
+            f"Supervision: executor `{supervision.get('executor', '?')}`, "
+            + (
+                f"heartbeat {format_value(hb_s)} s "
+                f"({supervision.get('heartbeats_received', 0)} beats, "
+                f"{supervision.get('hung_detected', 0)} hung detected)"
+                if hb_s
+                else "heartbeat off"
+            )
+            + (
+                f", deadline {format_value(supervision['deadline_s'])} s"
+                if supervision.get("deadline_s")
+                else ""
+            )
+            + (
+                f", quarantine after "
+                f"{supervision['quarantine_after']} workers"
+                if supervision.get("quarantine_after")
+                else ""
+            )
+            + "."
+        )
     rows = _aggregate_rows(manifest)
     if rows:
         out.append("")
@@ -697,6 +808,53 @@ def render_markdown(
                 for f in manifest.get("failed", [])
             ],
         ))
+    if manifest.get("quarantined"):
+        out.append("")
+        out.append("## Quarantined (poison units)")
+        out.append("")
+        out.append(_md_table(
+            ["workload", "fingerprint", "attempts", "workers killed",
+             "exc type", "detail"],
+            [
+                [q.get("workload"), q.get("fingerprint") or "-",
+                 q.get("attempts"), q.get("workers"), q.get("exc_type"),
+                 q.get("detail")]
+                for q in manifest.get("quarantined", [])
+            ],
+        ))
+    if manifest.get("skipped"):
+        out.append("")
+        out.append("## Skipped (cancelled, not failed)")
+        out.append("")
+        out.append(_md_table(
+            ["workload", "reason", "attempts consumed"],
+            [
+                [s.get("workload"), s.get("reason"), s.get("attempts")]
+                for s in manifest.get("skipped", [])
+            ],
+        ))
+    result_cache = manifest.get("result_cache")
+    if result_cache is not None:
+        out.append("")
+        out.append("## Result cache")
+        out.append("")
+        out.append(_md_table(
+            ["hits", "misses", "stores", "corrupt", "hit rate"],
+            [[
+                result_cache.get("hits", 0),
+                result_cache.get("misses", 0),
+                result_cache.get("stores", 0),
+                result_cache.get("corrupt", 0),
+                result_cache.get("hit_rate", 0.0),
+            ]],
+        ))
+        if result_cache.get("corrupt", 0):
+            out.append("")
+            out.append(
+                f"- warning: {result_cache['corrupt']} cache file(s) were "
+                f"corrupt and treated as misses (the units re-ran; "
+                f"results are unaffected)."
+            )
     if consistency is not None:
         out.append("")
         out.append("## Consistency")

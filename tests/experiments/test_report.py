@@ -262,3 +262,113 @@ class TestRenderers:
         assert lines[0].startswith("technique,")
         assert len(lines) == 1 + len(manifest["aggregates"])
         assert lines[1].startswith("esteem,")
+
+
+class TestSupervisionManifest:
+    """Manifest v2: quarantined / skipped / interrupted / supervision."""
+
+    QUARANTINE_ENTRY = {
+        "workload": "povray", "fingerprint": "f" * 16, "attempts": 2,
+        "workers": 2, "exc_type": "WorkerCrash", "detail": "poison",
+        "telemetry": "lost",
+    }
+
+    def test_clean_manifest_has_empty_supervision_outcomes(self, manifest):
+        assert manifest["quarantined"] == []
+        assert manifest["skipped"] == []
+        assert manifest["interrupted"] is None
+        assert manifest["supervision"]["executor"] in (
+            "pool", "spawn", "inprocess", "remote"
+        )
+
+    def test_quarantined_items_require_full_shape(self, manifest):
+        broken = copy.deepcopy(manifest)
+        broken["quarantined"] = [{"workload": "povray"}]
+        errors = validate_manifest(broken)
+        assert any(
+            "quarantined[0]" in e and "required" in e for e in errors
+        )
+
+    def test_skipped_reason_enum_enforced(self, manifest):
+        broken = copy.deepcopy(manifest)
+        broken["skipped"] = [
+            {"workload": "mcf", "reason": "boredom", "attempts": 0}
+        ]
+        assert any(
+            "skipped[0].reason" in e for e in validate_manifest(broken)
+        )
+
+    def test_supervision_required_keys(self, manifest):
+        broken = copy.deepcopy(manifest)
+        del broken["supervision"]["executor"]
+        errors = validate_manifest(broken)
+        assert any("supervision" in e and "executor" in e for e in errors)
+
+    def test_interrupted_must_be_string_or_null(self, manifest):
+        broken = copy.deepcopy(manifest)
+        broken["interrupted"] = 9
+        assert any("interrupted" in e for e in validate_manifest(broken))
+
+    def test_well_formed_supervision_outcomes_validate(self, manifest):
+        full = copy.deepcopy(manifest)
+        full["quarantined"] = [dict(self.QUARANTINE_ENTRY)]
+        full["skipped"] = [
+            {"workload": "mcf", "reason": "deadline", "attempts": 0}
+        ]
+        full["interrupted"] = "SIGTERM"
+        assert validate_manifest(full) == []
+
+    def test_in_flight_timeline_extra_tolerated(self, manifest):
+        # The validator must ignore unknown keys: cancelled in-flight
+        # attempts carry an extra ``in_flight`` marker.
+        tagged = copy.deepcopy(manifest)
+        tagged["timeline"][0]["in_flight"] = True
+        assert validate_manifest(tagged) == []
+
+    def test_quarantined_completed_overlap_detected(self, manifest):
+        broken = copy.deepcopy(manifest)
+        entry = dict(self.QUARANTINE_ENTRY, workload="gamess")
+        broken["quarantined"] = [entry]
+        errors = check_consistency(broken)
+        assert any(
+            "both completed and quarantined" in e for e in errors
+        )
+
+    def test_markdown_renders_supervision_sections(self, manifest):
+        m = copy.deepcopy(manifest)
+        m["quarantined"] = [dict(self.QUARANTINE_ENTRY)]
+        m["skipped"] = [
+            {"workload": "mcf", "reason": "deadline", "attempts": 0}
+        ]
+        m["interrupted"] = "SIGTERM"
+        text = render_markdown(m)
+        assert "## Quarantined (poison units)" in text
+        assert "## Skipped (cancelled, not failed)" in text
+        assert "Interrupted by SIGTERM" in text
+
+
+class TestResultCacheReporting:
+    def test_no_cache_section_when_cache_unused(self, manifest):
+        assert manifest["result_cache"] is None
+        assert "## Result cache" not in render_markdown(manifest)
+
+    def test_corrupt_cache_files_surface_as_warning(self, manifest):
+        m = copy.deepcopy(manifest)
+        m["result_cache"] = {
+            "hits": 3, "misses": 2, "stores": 2, "corrupt": 1,
+            "hit_rate": 0.6,
+        }
+        assert validate_manifest(m) == []
+        text = render_markdown(m)
+        assert "## Result cache" in text
+        assert "corrupt and treated as misses" in text
+
+    def test_clean_cache_renders_without_warning(self, manifest):
+        m = copy.deepcopy(manifest)
+        m["result_cache"] = {
+            "hits": 4, "misses": 1, "stores": 1, "corrupt": 0,
+            "hit_rate": 0.8,
+        }
+        text = render_markdown(m)
+        assert "## Result cache" in text
+        assert "corrupt and treated as misses" not in text

@@ -281,6 +281,63 @@ class TestSweepCommand:
         assert manifest["degraded"] is True
         assert manifest["failed"][0]["workload"] == "gamess"
 
+    def test_supervision_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "gamess", "--executor", "spawn",
+             "--heartbeat", "0.5", "--deadline", "30",
+             "--quarantine-after", "2"]
+        )
+        assert args.executor == "spawn"
+        assert args.heartbeat == 0.5
+        assert args.deadline == 30.0
+        assert args.quarantine_after == 2
+
+    def test_unknown_executor_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--workloads", "gamess", "--executor", "abacus"]
+            )
+
+    def test_supervision_flag_validation(self, capsys):
+        base = ["sweep", "--workloads", "gamess", "-q"]
+        assert main(base + ["--heartbeat", "0"]) == 2
+        assert "--heartbeat must be positive" in capsys.readouterr().err
+        assert main(base + ["--deadline", "-1"]) == 2
+        assert "--deadline must be positive" in capsys.readouterr().err
+        assert main(base + ["--quarantine-after", "0"]) == 2
+        assert (
+            "--quarantine-after must be at least 1"
+            in capsys.readouterr().err
+        )
+
+    def test_poison_quarantine_exits_3_and_report_checks(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        from repro.experiments.report import validate_manifest
+        from repro.faults import FaultPlan
+
+        plan_path = tmp_path / "plan.json"
+        FaultPlan(chaos={"povray": ("poison",) * 8}).save(plan_path)
+        manifest_path = tmp_path / "manifest.json"
+        code = main(
+            ["sweep", "--workloads", "gamess,povray", "-t", "esteem",
+             "--instructions", "200000", "--retries", "5",
+             "--backoff", "0.01", "--quarantine-after", "2",
+             "--inject", str(plan_path),
+             "--manifest", str(manifest_path), "-q"]
+        )
+        assert code == 3
+        assert "QUARANTINED" in capsys.readouterr().err
+        manifest = json.loads(manifest_path.read_text())
+        assert validate_manifest(manifest) == []
+        assert manifest["quarantined"][0]["workload"] == "povray"
+        assert manifest["completed"] == ["gamess"]
+        # A degraded-but-consistent manifest still passes report --check.
+        assert main(["report", str(manifest_path), "--check", "-q"]) == 0
+        capsys.readouterr()
+
     def test_bad_inject_plan_reported(self, capsys, tmp_path):
         plan_path = tmp_path / "bad.json"
         plan_path.write_text("{broken")
